@@ -1,0 +1,28 @@
+//! Ablation (paper §IV-B): how many invalidation-servers does RInval-V2
+//! need? "On a 64-core machine, it is sufficient to use 4 to 8
+//! invalidation-servers to achieve the maximum performance" — adding more
+//! costs dedicated cores and inter-server coordination for no gain.
+
+use bench::{banner, sim_throughput};
+use simcore::SimAlgorithm;
+
+fn main() {
+    banner(
+        "Ablation §IV-B (simulated 64-core)",
+        "RInval-V2 throughput vs invalidation-server count [Ktx/s]",
+        "throughput rises steeply to ~4 servers, plateaus by 8, and decays \
+         slightly as servers eat client cores",
+    );
+    let w = simcore::presets::rbtree(50);
+    println!(
+        "{:>8} {:>12} {:>12} {:>12}",
+        "invals", "16 clients", "32 clients", "48 clients"
+    );
+    for k in [1usize, 2, 4, 8, 12, 16] {
+        let algo = SimAlgorithm::RInvalV2 { invalidators: k };
+        let t16 = sim_throughput(algo, 16, &w, 10_000_000);
+        let t32 = sim_throughput(algo, 32, &w, 10_000_000);
+        let t48 = sim_throughput(algo, 48, &w, 10_000_000);
+        println!("{k:>8} {t16:>12.0} {t32:>12.0} {t48:>12.0}");
+    }
+}

@@ -1,0 +1,41 @@
+//! Ablation (paper §IV-C): V2 vs V3 under injected invalidation-server
+//! stalls. The paper withholds V3's curves because on dedicated cores the
+//! servers never block, so V3 ≈ V2; V3's value appears only when a server
+//! *is* delayed (OS scheduling, paging). We inject a per-commit stall on
+//! one invalidation-server and watch V3's run-ahead absorb it.
+
+use bench::banner;
+use simcore::SimAlgorithm;
+
+fn main() {
+    banner(
+        "Ablation §IV-C (simulated 64-core, 24 clients, 4 invalidators)",
+        "throughput under injected per-commit stalls on one server [Ktx/s]",
+        "with no stall V3 ~= V2 (paper: 'very close'); as the stall grows, \
+         V2 degrades while V3's steps-ahead window hides most of it",
+    );
+    let w = simcore::presets::rbtree(50);
+    println!(
+        "{:>12} {:>10} {:>10} {:>10}   (stall hits every 50th commit)",
+        "stall[cyc]", "v2", "v3(s=2)", "v3(s=8)"
+    );
+    for stall in [0u64, 4_000, 16_000, 64_000, 256_000] {
+        let run = |algo| {
+            let mut cfg = simcore::SimConfig::new(algo, 24, w.clone());
+            cfg.duration_cycles = 10_000_000;
+            cfg.server_stall = stall;
+            cfg.server_stall_every = 50;
+            simcore::simulate(&cfg).throughput(&simcore::CostModel::default()) / 1000.0
+        };
+        let v2 = run(SimAlgorithm::RInvalV2 { invalidators: 4 });
+        let v3a = run(SimAlgorithm::RInvalV3 {
+            invalidators: 4,
+            steps_ahead: 2,
+        });
+        let v3b = run(SimAlgorithm::RInvalV3 {
+            invalidators: 4,
+            steps_ahead: 8,
+        });
+        println!("{stall:>12} {v2:>10.0} {v3a:>10.0} {v3b:>10.0}");
+    }
+}

@@ -1,0 +1,91 @@
+//! Figure 2 — percentage of validation / commit / other time on the
+//! red-black tree, NOrec vs InvalSTM, at 8/16/32/48 threads, normalized
+//! to NOrec's execution time.
+//!
+//! The simulated layer reproduces the paper's thread counts; the real
+//! layer runs the instrumented implementations (`StmBuilder::profile`) at
+//! small scale and prints the same stacked-bar numbers from measured
+//! `PhaseStats`.
+
+use bench::banner;
+use rinval::{AlgorithmKind, Stm};
+use simcore::{SimAlgorithm, SimConfig};
+use std::time::Duration;
+
+fn simulated() {
+    banner(
+        "Figure 2 (simulated 64-core)",
+        "red-black tree time breakdown, normalized to NOrec",
+        "InvalSTM spends a larger share in commit than NOrec; the \
+         non-transactional share shrinks as threads grow",
+    );
+    println!(
+        "{:>8} {:>10} {:>8} {:>11} {:>8} {:>8}",
+        "threads", "algorithm", "total", "validation", "commit", "other"
+    );
+    for t in [8usize, 16, 32, 48] {
+        let mut norec_time = 1.0;
+        for algo in [SimAlgorithm::NOrec, SimAlgorithm::InvalStm] {
+            let mut cfg = SimConfig::new(algo, t, simcore::presets::rbtree(50));
+            cfg.max_commits = 40_000;
+            cfg.duration_cycles = u64::MAX / 4;
+            let r = simcore::simulate(&cfg);
+            let total = r.wall_cycles as f64;
+            if algo == SimAlgorithm::NOrec {
+                norec_time = total;
+            }
+            let rel = total / norec_time;
+            let (v, c, o) = r.breakdown();
+            println!(
+                "{t:>8} {:>10} {rel:>8.2} {:>10.0}% {:>7.0}% {:>7.0}%",
+                algo.name(),
+                v * 100.0 * rel,
+                c * 100.0 * rel,
+                o * 100.0 * rel,
+            );
+        }
+    }
+}
+
+fn real_profiled() {
+    banner(
+        "Figure 2 (real implementation, profiled host run)",
+        "red-black tree measured phase shares at 4 threads",
+        "same qualitative split from measured PhaseStats",
+    );
+    println!(
+        "{:>10} {:>11} {:>8} {:>8} {:>9}",
+        "algorithm", "validation", "commit", "other", "aborts"
+    );
+    let cfg = stamp::rbtree_bench::Config {
+        initial_size: 4096,
+        read_pct: 50,
+        delay_noops: 10,
+        duration: Duration::from_millis(300),
+        seed: 2,
+    };
+    for algo in [AlgorithmKind::NOrec, AlgorithmKind::InvalStm] {
+        let stm = Stm::builder(algo)
+            .heap_words(cfg.heap_words())
+            .profile(true)
+            .build();
+        let tree = stamp::rbtree_bench::setup(&stm, &cfg);
+        let report = stamp::rbtree_bench::run_on(&stm, tree, 4, &cfg);
+        // Phase shares of summed per-thread busy time.
+        let wall = report.wall * 4;
+        let (v, c, o) = report.stats.breakdown(wall);
+        println!(
+            "{:>10} {:>10.0}% {:>7.0}% {:>7.0}% {:>9}",
+            algo.name(),
+            v * 100.0,
+            c * 100.0,
+            o * 100.0,
+            report.stats.aborts
+        );
+    }
+}
+
+fn main() {
+    simulated();
+    real_profiled();
+}

@@ -1,0 +1,90 @@
+//! Figure 3 — percentage of validation / commit / other time on the STAMP
+//! benchmarks, NOrec vs InvalSTM, normalized to NOrec.
+//!
+//! The paper's reading: commit share is higher under InvalSTM for
+//! intruder / kmeans / ssca2; genome and vacation additionally blow up
+//! InvalSTM's read/abort side; labyrinth (and bayes) are dominated by
+//! non-transactional work under every algorithm.
+
+use bench::banner;
+use rinval::{AlgorithmKind, Stm};
+use simcore::{SimAlgorithm, SimConfig};
+use stamp::App;
+
+fn simulated() {
+    banner(
+        "Figure 3 (simulated 64-core, 16 threads)",
+        "STAMP time breakdown, normalized to NOrec",
+        "InvalSTM commit share > NOrec's on intruder/kmeans/ssca2; \
+         labyrinth and bayes ~all non-transactional under both",
+    );
+    println!(
+        "{:>10} {:>10} {:>8} {:>11} {:>8} {:>8}",
+        "app", "algorithm", "total", "validation", "commit", "other"
+    );
+    for app in App::ALL {
+        let w = simcore::presets::by_name(app.name()).expect("preset");
+        let mut norec_time = 1.0;
+        for algo in [SimAlgorithm::NOrec, SimAlgorithm::InvalStm] {
+            let mut cfg = SimConfig::new(algo, 16, w.clone());
+            cfg.max_commits = 20_000;
+            cfg.duration_cycles = u64::MAX / 4;
+            let r = simcore::simulate(&cfg);
+            let total = r.wall_cycles as f64;
+            if algo == SimAlgorithm::NOrec {
+                norec_time = total;
+            }
+            let rel = total / norec_time;
+            let (v, c, o) = r.breakdown();
+            println!(
+                "{:>10} {:>10} {rel:>8.2} {:>10.0}% {:>7.0}% {:>7.0}%",
+                app.name(),
+                algo.name(),
+                v * 100.0 * rel,
+                c * 100.0 * rel,
+                o * 100.0 * rel,
+            );
+        }
+    }
+}
+
+fn real_profiled() {
+    banner(
+        "Figure 3 (real implementation, profiled host run, 3 threads)",
+        "measured phase shares per application",
+        "same qualitative split from measured PhaseStats; every run is \
+         verified for correctness",
+    );
+    println!(
+        "{:>10} {:>10} {:>11} {:>8} {:>8} {:>9}",
+        "app", "algorithm", "validation", "commit", "other", "aborts"
+    );
+    for app in App::ALL {
+        for algo in [AlgorithmKind::NOrec, AlgorithmKind::InvalStm] {
+            let stm = Stm::builder(algo)
+                .heap_words(app.default_heap_words())
+                .profile(true)
+                .build();
+            let (report, verdict) = app.run_small(&stm, 3);
+            if let Err(e) = verdict {
+                panic!("{} verification failed under {algo:?}: {e}", app.name());
+            }
+            let wall = report.wall * 3;
+            let (v, c, o) = report.stats.breakdown(wall);
+            println!(
+                "{:>10} {:>10} {:>10.0}% {:>7.0}% {:>7.0}% {:>9}",
+                app.name(),
+                algo.name(),
+                v * 100.0,
+                c * 100.0,
+                o * 100.0,
+                report.stats.aborts
+            );
+        }
+    }
+}
+
+fn main() {
+    simulated();
+    real_profiled();
+}

@@ -1,0 +1,103 @@
+//! Criterion micro-benchmarks of the real implementation: the per-
+//! operation costs underlying the paper's §III critical-path analysis
+//! (read with validation, buffered write, commit by kind and algorithm).
+//!
+//! Sample sizes are kept small so `cargo bench` completes quickly on
+//! minimal hosts; Criterion still reports medians with confidence
+//! intervals.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rinval::{AlgorithmKind, Stm};
+use std::time::Duration;
+use txds::RbTree;
+
+fn algos() -> Vec<AlgorithmKind> {
+    vec![
+        AlgorithmKind::CoarseLock,
+        AlgorithmKind::Tml,
+        AlgorithmKind::NOrec,
+        AlgorithmKind::Tl2,
+        AlgorithmKind::InvalStm,
+        AlgorithmKind::RInvalV1,
+        AlgorithmKind::RInvalV2 { invalidators: 2 },
+    ]
+}
+
+/// A read-modify-write transaction over 8 words (uncontended).
+fn bench_rmw_tx(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rmw_tx_8words");
+    g.sample_size(20).measurement_time(Duration::from_millis(800));
+    for algo in algos() {
+        let stm = Stm::builder(algo).heap_words(1 << 10).build();
+        let arr = stm.alloc(8);
+        let mut th = stm.register_thread();
+        g.bench_with_input(BenchmarkId::from_parameter(algo.name()), &(), |b, _| {
+            b.iter(|| {
+                th.run(|tx| {
+                    for i in 0..8u32 {
+                        let v = tx.read(arr.field(i))?;
+                        tx.write(arr.field(i), v + 1)?;
+                    }
+                    Ok(())
+                })
+            });
+        });
+    }
+    g.finish();
+}
+
+/// A read-only transaction over 32 words — the validation-cost probe.
+fn bench_read_only_tx(c: &mut Criterion) {
+    let mut g = c.benchmark_group("read_only_tx_32words");
+    g.sample_size(20).measurement_time(Duration::from_millis(800));
+    for algo in algos() {
+        let stm = Stm::builder(algo).heap_words(1 << 10).build();
+        let arr = stm.alloc(32);
+        let mut th = stm.register_thread();
+        g.bench_with_input(BenchmarkId::from_parameter(algo.name()), &(), |b, _| {
+            b.iter(|| {
+                th.run(|tx| {
+                    let mut acc = 0u64;
+                    for i in 0..32u32 {
+                        acc = acc.wrapping_add(tx.read(arr.field(i))?);
+                    }
+                    Ok(acc)
+                })
+            });
+        });
+    }
+    g.finish();
+}
+
+/// One red-black-tree lookup per transaction on a 4K-element tree — the
+/// paper's micro-benchmark unit of work.
+fn bench_rbtree_lookup(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rbtree_lookup_4k");
+    g.sample_size(20).measurement_time(Duration::from_millis(800));
+    for algo in [
+        AlgorithmKind::NOrec,
+        AlgorithmKind::InvalStm,
+        AlgorithmKind::RInvalV2 { invalidators: 2 },
+    ] {
+        let stm = Stm::builder(algo).heap_words(1 << 18).build();
+        let tree = RbTree::new(&stm);
+        {
+            let mut th = stm.register_thread();
+            for k in 0..4096u64 {
+                th.run(|tx| tree.insert(tx, k * 2, k));
+            }
+        }
+        let mut th = stm.register_thread();
+        let mut key = 0u64;
+        g.bench_with_input(BenchmarkId::from_parameter(algo.name()), &(), |b, _| {
+            b.iter(|| {
+                key = (key + 37) % 8192;
+                th.run(|tx| tree.contains(tx, key))
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_rmw_tx, bench_read_only_tx, bench_rbtree_lookup);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Single global lock, no speculation — the paper's Fig. 1(b) baseline.
+//!
+//! The global timestamp doubles as the lock: odd = held. Transactions
+//! acquire it at begin and hold it for their whole body, so reads and
+//! writes go straight to the heap. Writes keep an undo log only so that a
+//! *user-requested* abort can roll back (no concurrent observer exists
+//! while the lock is held, so rollback is trivially safe).
+
+use crate::heap::Handle;
+use crate::sync::Backoff;
+use crate::txn::Txn;
+use std::sync::atomic::Ordering;
+
+pub(crate) fn begin(tx: &mut Txn<'_>) {
+    let ts = &tx.stm.timestamp;
+    let mut bk = Backoff::new();
+    loop {
+        let t = ts.load(Ordering::SeqCst);
+        if t & 1 == 0
+            && ts
+                .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+        {
+            tx.snapshot = t;
+            return;
+        }
+        bk.snooze();
+    }
+}
+
+#[inline]
+pub(crate) fn read(tx: &mut Txn<'_>, h: Handle) -> u64 {
+    tx.stm.heap.load(h)
+}
+
+#[inline]
+pub(crate) fn write(tx: &mut Txn<'_>, h: Handle, v: u64) {
+    // First write to an address records the pre-image for user aborts.
+    let old = tx.stm.heap.load(h);
+    tx.ws.insert(h, old);
+    tx.stm.heap.store(h, v);
+}
+
+pub(crate) fn commit(tx: &mut Txn<'_>) {
+    tx.stm
+        .timestamp
+        .store(tx.snapshot + 2, Ordering::SeqCst);
+}
+
+pub(crate) fn abort(tx: &mut Txn<'_>) {
+    // Each address appears once in the undo log, holding its pre-image.
+    for e in tx.ws.entries() {
+        tx.stm.heap.store(Handle::from_addr(e.addr), e.val);
+    }
+    tx.stm
+        .timestamp
+        .store(tx.snapshot + 2, Ordering::SeqCst);
+}

@@ -1,0 +1,150 @@
+//! Commit-time invalidation (InvalSTM — Gottschlich et al., CGO 2010),
+//! transcribed from the paper's Algorithm 1. Also provides the *client
+//! read path* shared by the whole RInval family: under RInval the read
+//! protocol is identical (paper §IV-A: "The read procedure is the same in
+//! both InvalSTM and RInval"), with one extra check in V2/V3 that the
+//! reader's invalidation-server has caught up (Algorithm 3, line 28).
+//!
+//! Per-read work is O(1): a seqlock-consistent heap load, a read-signature
+//! insertion, and a check of this transaction's own invalidation flag —
+//! this is the linear-vs-quadratic validation advantage over NOrec.
+//!
+//! ## The bloom-visibility race
+//! A reader inserts into its read signature and *then* rechecks the
+//! timestamp; a committer bumps the timestamp to odd and *then* scans
+//! signatures. Both sides separate the two steps with `SeqCst` fences, so
+//! in the total order either the reader sees the bump (and retries) or the
+//! committer sees the signature bit (and invalidates). Either way no
+//! committed write escapes a conflicting reader.
+
+use crate::heap::Handle;
+use crate::registry::{TX_ALIVE, TX_INVALIDATED};
+use crate::sync::Backoff;
+use crate::txn::Txn;
+use crate::{Aborted, AlgorithmKind, TxResult};
+use std::sync::atomic::{fence, Ordering};
+
+pub(crate) fn begin(tx: &mut Txn<'_>) {
+    tx.stm.registry.slot(tx.slot_idx).begin();
+}
+
+pub(crate) fn read(tx: &mut Txn<'_>, h: Handle) -> TxResult<u64> {
+    if let Some(v) = tx.ws.get(h) {
+        return Ok(v);
+    }
+    let slot = tx.stm.registry.slot(tx.slot_idx);
+    let ts = &tx.stm.timestamp;
+    // V2/V3: the invalidation-server responsible for this slot must have
+    // processed every commit up to the snapshot we accept (else a pending
+    // invalidation aimed at us could still be in flight).
+    let my_inval = match tx.stm.algo {
+        AlgorithmKind::RInvalV2 { .. } | AlgorithmKind::RInvalV3 { .. } => Some(
+            &tx.stm.inval_ts[tx.stm.inval_server_of(tx.slot_idx)],
+        ),
+        _ => None,
+    };
+    let mut bk = Backoff::new();
+    loop {
+        let x1 = ts.load(Ordering::SeqCst);
+        if x1 & 1 == 1 {
+            bk.snooze();
+            continue;
+        }
+        let v = tx.stm.heap.load(h);
+        // Publish the read in our signature *before* the recheck; see the
+        // module-level race note.
+        slot.read_bf.owner_insert(h.addr());
+        fence(Ordering::SeqCst);
+        if ts.load(Ordering::SeqCst) != x1 {
+            bk.snooze();
+            continue;
+        }
+        if let Some(iv) = my_inval {
+            if iv.load(Ordering::SeqCst) < x1 {
+                // Our invalidation-server is still processing an older
+                // commit; wait for it so the status check below is current.
+                bk.snooze();
+                continue;
+            }
+        }
+        if slot.tx_status.load(Ordering::SeqCst) == TX_INVALIDATED {
+            return Err(Aborted);
+        }
+        return Ok(v);
+    }
+}
+
+pub(crate) fn commit(tx: &mut Txn<'_>) -> TxResult<()> {
+    let slot = tx.stm.registry.slot(tx.slot_idx);
+    if tx.ws.is_empty() {
+        // Read-only: every read checked the invalidation flag, so the value
+        // set is consistent as of the last read. Nothing to publish.
+        return Ok(());
+    }
+    let ts = &tx.stm.timestamp;
+    let mut bk = Backoff::new();
+    // Algorithm 1, line 13: spin until the timestamp is even and we win the
+    // CAS that makes it odd.
+    let t = loop {
+        let cur = ts.load(Ordering::SeqCst);
+        if cur & 1 == 1 {
+            bk.snooze();
+            continue;
+        }
+        // Cheap pre-check outside the lock (avoids bumping the shared
+        // timestamp for a doomed transaction when possible).
+        if slot.tx_status.load(Ordering::SeqCst) == TX_INVALIDATED {
+            return Err(Aborted);
+        }
+        match ts.compare_exchange(cur, cur + 1, Ordering::SeqCst, Ordering::SeqCst) {
+            Ok(_) => break cur,
+            Err(_) => bk.snooze(),
+        }
+    };
+    // Algorithm 1, lines 15–16: the flag may have been set between our
+    // pre-check and the CAS; recheck under the lock.
+    fence(Ordering::SeqCst);
+    if slot.tx_status.load(Ordering::SeqCst) == TX_INVALIDATED {
+        // Release with a version bump: we published nothing, but readers
+        // must conservatively retry rather than pair with a stale parity.
+        ts.store(t + 2, Ordering::SeqCst);
+        return Err(Aborted);
+    }
+    // §V future-work policy: if this commit would doom more live readers
+    // than the budget allows, abort ourselves instead (reader bias).
+    let budget = tx.stm.cm_policy.max_doomed();
+    if budget != u32::MAX {
+        let mut doomed = 0u32;
+        for (i, other) in tx.stm.registry.iter() {
+            if i != tx.slot_idx && other.is_live() && other.read_bf.intersects_plain(tx.wbf) {
+                doomed += 1;
+            }
+        }
+        if doomed > budget {
+            ts.store(t + 2, Ordering::SeqCst);
+            return Err(Aborted);
+        }
+    }
+    // Algorithm 1, lines 17–19: invalidate every conflicting in-flight
+    // transaction (committer always wins; paper §IV-D).
+    for (i, other) in tx.stm.registry.iter() {
+        if i == tx.slot_idx {
+            continue;
+        }
+        if other.is_live() && other.read_bf.intersects_plain(tx.wbf) {
+            let _ = other.tx_status.compare_exchange(
+                TX_ALIVE,
+                TX_INVALIDATED,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            );
+        }
+    }
+    // Algorithm 1, line 20: publish the write-set.
+    for e in tx.ws.entries() {
+        tx.stm.heap.store(Handle::from_addr(e.addr), e.val);
+    }
+    // Algorithm 1, line 21: release the sequence lock.
+    ts.store(t + 2, Ordering::SeqCst);
+    Ok(())
+}

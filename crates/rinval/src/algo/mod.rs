@@ -1,0 +1,81 @@
+//! Per-algorithm transaction logic.
+//!
+//! Each submodule implements one concurrency-control algorithm's `begin` /
+//! `read` / `write` / `commit` over the shared [`crate::txn::Txn`] state;
+//! this module dispatches on [`crate::AlgorithmKind`]. The RInval server
+//! side lives in [`crate::server`].
+
+pub(crate) mod coarse;
+pub(crate) mod invalstm;
+pub(crate) mod norec;
+pub(crate) mod rinval;
+pub(crate) mod tl2;
+pub(crate) mod tml;
+
+use crate::stats::Probe;
+use crate::txn::Txn;
+use crate::{AlgorithmKind, TxResult};
+
+/// Starts a transaction attempt (snapshot acquisition / slot registration /
+/// lock acquisition, depending on the algorithm).
+pub(crate) fn begin(tx: &mut Txn<'_>) {
+    match tx.stm.algo {
+        AlgorithmKind::CoarseLock => coarse::begin(tx),
+        AlgorithmKind::Tml => tml::begin(tx),
+        AlgorithmKind::NOrec => norec::begin(tx),
+        AlgorithmKind::Tl2 => tl2::begin(tx),
+        AlgorithmKind::InvalStm
+        | AlgorithmKind::RInvalV1
+        | AlgorithmKind::RInvalV2 { .. }
+        | AlgorithmKind::RInvalV3 { .. } => invalstm::begin(tx),
+    }
+}
+
+/// Attempts to commit; on `Err` the caller must run [`cleanup_abort`].
+pub(crate) fn commit(tx: &mut Txn<'_>) -> TxResult<()> {
+    let p = Probe::start(tx.profile);
+    let r = match tx.stm.algo {
+        AlgorithmKind::CoarseLock => {
+            coarse::commit(tx);
+            Ok(())
+        }
+        AlgorithmKind::Tml => {
+            tml::commit(tx);
+            Ok(())
+        }
+        AlgorithmKind::NOrec => norec::commit(tx),
+        AlgorithmKind::Tl2 => tl2::commit(tx),
+        AlgorithmKind::InvalStm => invalstm::commit(tx),
+        AlgorithmKind::RInvalV1
+        | AlgorithmKind::RInvalV2 { .. }
+        | AlgorithmKind::RInvalV3 { .. } => rinval::client_commit(tx),
+    };
+    // Commit-phase time includes spinning on the global lock (NOrec /
+    // InvalSTM) or on the request slot (RInval) — exactly the paper's
+    // "commit" bucket in Fig. 2/3.
+    p.stop(&mut tx.stats.commit);
+    r
+}
+
+/// Post-commit bookkeeping (deregister from the in-flight registry).
+pub(crate) fn cleanup_commit(tx: &mut Txn<'_>) {
+    match tx.stm.algo {
+        AlgorithmKind::CoarseLock
+        | AlgorithmKind::Tml
+        | AlgorithmKind::NOrec
+        | AlgorithmKind::Tl2 => {}
+        _ => tx.stm.registry.slot(tx.slot_idx).end(),
+    }
+}
+
+/// Post-abort bookkeeping: release any held lock, roll back in-place
+/// writes, deregister.
+pub(crate) fn cleanup_abort(tx: &mut Txn<'_>) {
+    match tx.stm.algo {
+        AlgorithmKind::CoarseLock => coarse::abort(tx),
+        AlgorithmKind::Tml => tml::abort(tx),
+        // TL2's commit releases its own locks on every failure path.
+        AlgorithmKind::NOrec | AlgorithmKind::Tl2 => {}
+        _ => tx.stm.registry.slot(tx.slot_idx).end(),
+    }
+}

@@ -1,0 +1,113 @@
+//! NOrec (Dalessandro, Spear, Scott — PPoPP 2010), the paper's
+//! validation-based baseline.
+//!
+//! One global sequence lock, no ownership records. Reads are logged as
+//! `(address, value)` pairs; whenever the global timestamp moves, the whole
+//! read-set is revalidated *by value* — the incremental validation whose
+//! quadratic cost (paper §II) motivates invalidation-based designs. Commit
+//! acquires the sequence lock with a CAS, revalidates, writes back and
+//! releases.
+//!
+//! ## Ordering
+//! Readers use the seqlock recipe: acquire-load of the timestamp, relaxed
+//! data loads, acquire fence, relaxed recheck. The committer's CAS is
+//! `SeqCst` (acquire: write-back stores cannot float above it) and the
+//! release store publishes the write-back.
+
+use crate::heap::Handle;
+use crate::sync::Backoff;
+use crate::txn::Txn;
+use crate::{Aborted, TxResult};
+use std::sync::atomic::{fence, Ordering};
+
+pub(crate) fn begin(tx: &mut Txn<'_>) {
+    let ts = &tx.stm.timestamp;
+    let mut bk = Backoff::new();
+    loop {
+        let t = ts.load(Ordering::SeqCst);
+        if t & 1 == 0 {
+            tx.snapshot = t;
+            return;
+        }
+        bk.snooze();
+    }
+}
+
+/// Revalidates the read-set; on success returns the (even) timestamp the
+/// set is now known to be consistent at, extending the snapshot.
+fn validate(tx: &mut Txn<'_>) -> TxResult<u64> {
+    let ts = &tx.stm.timestamp;
+    let mut bk = Backoff::new();
+    loop {
+        let t = ts.load(Ordering::SeqCst);
+        if t & 1 == 1 {
+            bk.snooze();
+            continue;
+        }
+        let mut ok = true;
+        for &(h, v) in tx.rs.entries() {
+            if tx.stm.heap.load(h) != v {
+                ok = false;
+                break;
+            }
+        }
+        fence(Ordering::Acquire);
+        if ts.load(Ordering::SeqCst) != t {
+            // A commit raced the scan; its write-back may have been
+            // partially observed. Rescan at the new timestamp.
+            bk.snooze();
+            continue;
+        }
+        if !ok {
+            return Err(Aborted);
+        }
+        return Ok(t);
+    }
+}
+
+pub(crate) fn read(tx: &mut Txn<'_>, h: Handle) -> TxResult<u64> {
+    if let Some(v) = tx.ws.get(h) {
+        return Ok(v);
+    }
+    loop {
+        let v = tx.stm.heap.load(h);
+        fence(Ordering::Acquire);
+        if tx.stm.timestamp.load(Ordering::SeqCst) == tx.snapshot {
+            tx.rs.push(h, v);
+            return Ok(v);
+        }
+        // Timestamp moved since our snapshot: extend it by revalidating the
+        // prior reads, then retry this read at the new snapshot.
+        tx.snapshot = validate(tx)?;
+    }
+}
+
+pub(crate) fn commit(tx: &mut Txn<'_>) -> TxResult<()> {
+    if tx.ws.is_empty() {
+        // Read-only: consistent as of the last (re)validation.
+        return Ok(());
+    }
+    let ts = &tx.stm.timestamp;
+    let mut bk = Backoff::new();
+    // Acquire the sequence lock at our snapshot; any interleaved commit
+    // forces revalidation first, so the CAS success certifies the read-set.
+    loop {
+        match ts.compare_exchange(
+            tx.snapshot,
+            tx.snapshot + 1,
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        ) {
+            Ok(_) => break,
+            Err(_) => {
+                bk.snooze();
+                tx.snapshot = validate(tx)?;
+            }
+        }
+    }
+    for e in tx.ws.entries() {
+        tx.stm.heap.store(Handle::from_addr(e.addr), e.val);
+    }
+    ts.store(tx.snapshot + 2, Ordering::SeqCst);
+    Ok(())
+}

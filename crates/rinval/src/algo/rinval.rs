@@ -1,0 +1,75 @@
+//! RInval client side (paper Algorithm 2, `CLIENT COMMIT`).
+//!
+//! Identical for V1/V2/V3: the begin and read paths are shared with
+//! InvalSTM (module `invalstm`), and commit never touches the global
+//! timestamp. Instead the client:
+//!
+//! 1. checks its own invalidation flag (Algorithm 2, line 5);
+//! 2. publishes its write signature and write-set into its cache-aligned
+//!    request slot;
+//! 3. flips `request_state` to `PENDING` (the release edge that hands the
+//!    write-set to the commit-server);
+//! 4. spins **on its own slot** — not on any shared lock — until the server
+//!    answers `COMMITTED` or `ABORTED` (Algorithm 2, line 8).
+//!
+//! No CAS is executed anywhere on this path, which is the paper's headline
+//! mechanism for removing coherence traffic from the critical path.
+
+use crate::registry::{REQ_ABORTED, REQ_COMMITTED, REQ_IDLE, REQ_PENDING, TX_INVALIDATED};
+use crate::sync::Backoff;
+use crate::txn::Txn;
+use crate::{Aborted, TxResult};
+use std::sync::atomic::Ordering;
+
+pub(crate) fn client_commit(tx: &mut Txn<'_>) -> TxResult<()> {
+    let slot = tx.stm.registry.slot(tx.slot_idx);
+    if tx.ws.is_empty() {
+        // Read-only transactions never contact the server (Algorithm 2,
+        // lines 2–3): each read already checked the invalidation flag.
+        return Ok(());
+    }
+    // Algorithm 2, line 5: bail out before bothering the server if a prior
+    // commit already invalidated us. The server rechecks (its view is the
+    // authoritative one).
+    if slot.tx_status.load(Ordering::SeqCst) == TX_INVALIDATED {
+        return Err(Aborted);
+    }
+
+    // Publish the request payload. The write-set buffer lives in this
+    // thread's ThreadHandle and is not touched again until the server
+    // responds, so handing out a raw pointer is sound.
+    slot.req_write_bf.store_from(tx.wbf);
+    let entries = tx.ws.entries();
+    slot.req_ws_ptr
+        .store(entries.as_ptr() as *mut _, Ordering::Relaxed);
+    slot.req_ws_len.store(entries.len(), Ordering::Relaxed);
+    // Algorithm 2, line 7 — the release edge: everything above (and the
+    // transaction's `Txn::init` stores into fresh records) happens-before
+    // the server's acquire load of PENDING.
+    slot.request_state.store(REQ_PENDING, Ordering::SeqCst);
+
+    // Algorithm 2, line 8: spin on our own cache line.
+    let mut bk = Backoff::new();
+    let outcome = loop {
+        match slot.request_state.load(Ordering::SeqCst) {
+            REQ_COMMITTED => break Ok(()),
+            REQ_ABORTED => break Err(Aborted),
+            _ => {
+                if bk.is_yielding() && tx.stm.shutdown.load(Ordering::SeqCst) {
+                    // Unreachable through the public API (ThreadHandle
+                    // borrows the Stm, which joins servers only after all
+                    // handles drop), but fail loudly rather than hang if
+                    // that invariant is ever broken.
+                    panic!("rinval: STM shut down with a commit request outstanding");
+                }
+                bk.snooze();
+            }
+        }
+    };
+    // Retract the payload before the slot is reused.
+    slot.req_ws_ptr
+        .store(std::ptr::null_mut(), Ordering::Relaxed);
+    slot.req_ws_len.store(0, Ordering::Relaxed);
+    slot.request_state.store(REQ_IDLE, Ordering::SeqCst);
+    outcome
+}

@@ -1,0 +1,210 @@
+//! TL2 (Dice, Shalev, Shavit — DISC 2006), the fine-grained baseline the
+//! paper contrasts coarse-grained STMs against (§II, §III: "fine-grained
+//! locking algorithms such as TL2 reduce false conflicts, potentially
+//! enabling greater scalability, but at the expense of ... higher cost").
+//!
+//! Per-stripe versioned write-locks (ownership records) plus a global
+//! version clock:
+//!
+//! * **begin** — sample the clock (`rv`).
+//! * **read** — consistent if the address's orec is unlocked and its
+//!   version ≤ `rv`, rechecked around the data load; no incremental
+//!   revalidation, no read-set scanning.
+//! * **commit** — lock the write-set's orecs (bounded spin, abort on
+//!   failure: deadlock avoidance), take `wv` from the clock, validate the
+//!   read orecs once, write back, release orecs at version `wv`.
+//!
+//! The global timestamp doubles as TL2's version clock; it advances by 2
+//! per commit so it stays even and never trips the other algorithms'
+//! parity conventions (a single `Stm` runs a single algorithm, but tests
+//! and diagnostics read the counter generically).
+//!
+//! Read-set entries reuse [`crate::logs::ValueReadSet`], holding
+//! `(handle, orec snapshot)` pairs instead of values.
+
+use crate::heap::Handle;
+use crate::sync::Backoff;
+use crate::txn::Txn;
+use crate::{Aborted, TxResult};
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+
+/// Bit 0 of an orec = locked; the rest is the commit version.
+const LOCKED: u64 = 1;
+
+/// Ownership-record table: one versioned lock per address stripe.
+pub(crate) struct OrecTable {
+    orecs: Box<[AtomicU64]>,
+    mask: usize,
+}
+
+impl OrecTable {
+    /// A table with `stripes` records (rounded up to a power of two).
+    pub(crate) fn new(stripes: usize) -> OrecTable {
+        let n = stripes.next_power_of_two().max(64);
+        let mut v = Vec::with_capacity(n);
+        v.resize_with(n, || AtomicU64::new(0));
+        OrecTable {
+            orecs: v.into_boxed_slice(),
+            mask: n - 1,
+        }
+    }
+
+    /// The orec covering `addr`. Fibonacci hashing spreads neighbouring
+    /// record fields across stripes (false sharing between hot fields of
+    /// one node would serialize them needlessly).
+    #[inline]
+    pub(crate) fn orec(&self, addr: u32) -> &AtomicU64 {
+        let h = ((addr as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 40) as usize;
+        &self.orecs[h & self.mask]
+    }
+
+    /// Number of stripes (diagnostics).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn len(&self) -> usize {
+        self.orecs.len()
+    }
+}
+
+fn table<'a>(tx: &Txn<'a>) -> &'a OrecTable {
+    tx.stm
+        .orecs
+        .as_ref()
+        .expect("TL2 algorithm requires the orec table")
+}
+
+pub(crate) fn begin(tx: &mut Txn<'_>) {
+    // rv: the snapshot version.
+    tx.snapshot = tx.stm.timestamp.load(Ordering::SeqCst);
+}
+
+pub(crate) fn read(tx: &mut Txn<'_>, h: Handle) -> TxResult<u64> {
+    if let Some(v) = tx.ws.get(h) {
+        return Ok(v);
+    }
+    let orec = table(tx).orec(h.addr());
+    let pre = orec.load(Ordering::SeqCst);
+    if pre & LOCKED != 0 || pre > tx.snapshot {
+        // Locked, or written after our snapshot. Classic TL2 aborts here
+        // (no snapshot extension).
+        return Err(Aborted);
+    }
+    let v = tx.stm.heap.load(h);
+    fence(Ordering::Acquire);
+    if orec.load(Ordering::SeqCst) != pre {
+        return Err(Aborted);
+    }
+    tx.rs.push(h, pre);
+    Ok(v)
+}
+
+pub(crate) fn commit(tx: &mut Txn<'_>) -> TxResult<()> {
+    if tx.ws.is_empty() {
+        // Read-only TL2 transactions are consistent at `rv` and commit
+        // without any shared access.
+        return Ok(());
+    }
+    let tbl = table(tx);
+    // Phase 1: lock the write-set's orecs (deduplicated: several addresses
+    // may share a stripe). Bounded spin, then abort — deadlock avoidance.
+    let mut held: Vec<(&AtomicU64, u64)> = Vec::with_capacity(tx.ws.len());
+    'acquire: for e in tx.ws.entries() {
+        let orec = tbl.orec(e.addr);
+        if held.iter().any(|&(o, _)| std::ptr::eq(o, orec)) {
+            continue; // already own this stripe
+        }
+        let mut bk = Backoff::new();
+        for _attempt in 0..64 {
+            let cur = orec.load(Ordering::SeqCst);
+            if cur & LOCKED == 0 {
+                if cur > tx.snapshot {
+                    // Written since our snapshot. Conservative: classic TL2
+                    // would allow this for blind writes, but requiring
+                    // version ≤ rv on every lock we take makes the
+                    // locked-by-me case in read validation trivially sound
+                    // (versions are monotone, so a stripe we hold cannot
+                    // have changed since any of our reads of it).
+                    break;
+                }
+                if orec
+                    .compare_exchange(cur, cur | LOCKED, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_ok()
+                {
+                    held.push((orec, cur));
+                    continue 'acquire;
+                }
+            }
+            bk.snooze();
+        }
+        // Failed to acquire: release everything and abort.
+        for &(o, old) in &held {
+            o.store(old, Ordering::SeqCst);
+        }
+        return Err(Aborted);
+    }
+    // Phase 2: take the write version.
+    let wv = tx.stm.timestamp.fetch_add(2, Ordering::SeqCst) + 2;
+    // Phase 3: validate the read-set (skippable when rv + 2 == wv: nobody
+    // committed in between — the classic TL2 fast path).
+    if tx.snapshot + 2 != wv {
+        for &(h, _pre) in tx.rs.entries() {
+            let orec = tbl.orec(h.addr());
+            let cur = orec.load(Ordering::SeqCst);
+            let ok = if cur & LOCKED != 0 {
+                // Locked orecs are fine only if *we* hold them (the stripe
+                // is also in our write set; its pre-lock version was
+                // checked ≤ rv during acquisition).
+                held.iter().any(|&(o, _)| std::ptr::eq(o, orec))
+            } else {
+                cur <= tx.snapshot
+            };
+            if !ok {
+                for &(o, old) in &held {
+                    o.store(old, Ordering::SeqCst);
+                }
+                return Err(Aborted);
+            }
+        }
+    }
+    // Phase 4: write back and release at wv.
+    for e in tx.ws.entries() {
+        tx.stm.heap.store(Handle::from_addr(e.addr), e.val);
+    }
+    for &(o, _) in &held {
+        o.store(wv, Ordering::SeqCst);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orec_table_rounds_to_power_of_two() {
+        assert_eq!(OrecTable::new(100).len(), 128);
+        assert_eq!(OrecTable::new(1).len(), 64);
+        assert_eq!(OrecTable::new(1 << 12).len(), 1 << 12);
+    }
+
+    #[test]
+    fn orec_mapping_is_stable_and_in_range() {
+        let t = OrecTable::new(256);
+        for addr in [1u32, 2, 1000, u32::MAX] {
+            let a = t.orec(addr) as *const _;
+            let b = t.orec(addr) as *const _;
+            assert_eq!(a, b, "mapping must be deterministic");
+        }
+    }
+
+    #[test]
+    fn neighbouring_addresses_usually_get_distinct_stripes() {
+        let t = OrecTable::new(1 << 10);
+        let mut distinct = 0;
+        for addr in 1..100u32 {
+            if !std::ptr::eq(t.orec(addr), t.orec(addr + 1)) {
+                distinct += 1;
+            }
+        }
+        assert!(distinct > 90, "only {distinct}/99 neighbour pairs split");
+    }
+}

@@ -1,0 +1,111 @@
+//! Contention management.
+//!
+//! The paper deliberately uses the *simplest* possible policy (§IV-D):
+//! conflicts are always resolved by aborting the in-flight readers, never
+//! the committer ("winning commit"), because anything smarter would add
+//! work to the servers' critical path. What remains for the aborted side is
+//! *when to retry*: we use randomized bounded exponential backoff, seeded
+//! per thread so behaviour is reproducible under a fixed thread count.
+
+/// Randomized exponential backoff between transaction retries.
+#[derive(Debug)]
+pub struct ContentionManager {
+    /// xorshift state for jitter.
+    rng: u64,
+    /// Consecutive aborts of the current transaction.
+    streak: u32,
+    /// Cap on the exponent so waits stay bounded.
+    max_exp: u32,
+}
+
+impl ContentionManager {
+    /// A manager seeded from the owning thread's slot index.
+    pub fn new(seed: u64) -> ContentionManager {
+        ContentionManager {
+            rng: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1,
+            streak: 0,
+            max_exp: 10,
+        }
+    }
+
+    #[inline]
+    fn next_rand(&mut self) -> u64 {
+        // xorshift64*
+        let mut x = self.rng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Called after a commit; clears the abort streak.
+    pub fn on_commit(&mut self) {
+        self.streak = 0;
+    }
+
+    /// Called after an abort; waits a randomized, exponentially growing
+    /// amount before the caller retries. Spins briefly, then yields — on an
+    /// oversubscribed host the yield is what lets the conflicting committer
+    /// actually finish.
+    pub fn on_abort(&mut self) {
+        self.streak = self.streak.saturating_add(1);
+        let exp = self.streak.min(self.max_exp);
+        let ceiling = 1u64 << exp;
+        let spins = self.next_rand() % ceiling;
+        for _ in 0..spins {
+            core::hint::spin_loop();
+        }
+        if self.streak > 3 {
+            std::thread::yield_now();
+        }
+    }
+
+    /// Current abort streak (used by tests and adaptive policies).
+    pub fn streak(&self) -> u32 {
+        self.streak
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streak_grows_and_resets() {
+        let mut cm = ContentionManager::new(1);
+        assert_eq!(cm.streak(), 0);
+        cm.on_abort();
+        cm.on_abort();
+        assert_eq!(cm.streak(), 2);
+        cm.on_commit();
+        assert_eq!(cm.streak(), 0);
+    }
+
+    #[test]
+    fn rng_sequences_differ_by_seed() {
+        let mut a = ContentionManager::new(1);
+        let mut b = ContentionManager::new(2);
+        let sa: Vec<u64> = (0..4).map(|_| a.next_rand()).collect();
+        let sb: Vec<u64> = (0..4).map(|_| b.next_rand()).collect();
+        assert_ne!(sa, sb);
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_seed() {
+        let mut a = ContentionManager::new(7);
+        let mut b = ContentionManager::new(7);
+        for _ in 0..8 {
+            assert_eq!(a.next_rand(), b.next_rand());
+        }
+    }
+
+    #[test]
+    fn on_abort_terminates_even_for_long_streaks() {
+        let mut cm = ContentionManager::new(3);
+        for _ in 0..64 {
+            cm.on_abort();
+        }
+        assert_eq!(cm.streak(), 64);
+    }
+}

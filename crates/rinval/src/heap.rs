@@ -1,0 +1,264 @@
+//! The word-based transactional heap.
+//!
+//! Like RSTM (the C++ framework the paper implements RInval in), the STM is
+//! *word-based*: shared state is an arena of 64-bit words, and transactions
+//! read and write whole words identified by a [`Handle`]. Data structures
+//! (crate `txds`) build typed records and pointers on top by encoding
+//! handles into words.
+//!
+//! Words are `AtomicU64` so that the seqlock protocols may load them while a
+//! committer concurrently stores them — Rust forbids data races on plain
+//! memory, so the C trick of racing plain loads under a version check is
+//! expressed here as relaxed atomic accesses ordered by the surrounding
+//! timestamp protocol.
+//!
+//! Allocation is a thread-safe bump pointer. There is **no reclamation**:
+//! the arena lives as long as the [`crate::Stm`], matching how the paper's
+//! benchmarks run (structures are built, exercised, then the whole STM is
+//! torn down). `txds` layers transactional free-lists on top where reuse
+//! matters.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Index of a word in the transactional heap.
+///
+/// Internally `index + 1`, so that the all-zeroes word decodes to
+/// [`Handle::NULL`] — freshly allocated records therefore contain null
+/// pointers without initialization, exactly like `calloc`'d C nodes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Handle(pub(crate) u32);
+
+impl Handle {
+    /// The null handle. Reading through it is a logic error (panics).
+    pub const NULL: Handle = Handle(0);
+
+    /// True if this is [`Handle::NULL`].
+    #[inline]
+    pub fn is_null(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The handle `offset` words after `self`. Used to address fields of a
+    /// multi-word record.
+    #[inline]
+    pub fn field(self, offset: u32) -> Handle {
+        debug_assert!(!self.is_null(), "field() on null handle");
+        Handle(self.0 + offset)
+    }
+
+    /// Encodes the handle as a heap word (for storing pointers).
+    #[inline]
+    pub fn to_word(self) -> u64 {
+        self.0 as u64
+    }
+
+    /// Decodes a heap word produced by [`Handle::to_word`].
+    #[inline]
+    pub fn from_word(w: u64) -> Handle {
+        debug_assert!(w <= u32::MAX as u64, "word does not encode a handle");
+        Handle(w as u32)
+    }
+
+    /// The raw word address used by Bloom filters and write logs.
+    #[inline]
+    pub(crate) fn addr(self) -> u32 {
+        self.0
+    }
+
+    /// Rebuilds a handle from a raw address (server-side write-back).
+    #[inline]
+    pub(crate) fn from_addr(addr: u32) -> Handle {
+        Handle(addr)
+    }
+}
+
+impl fmt::Debug for Handle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_null() {
+            write!(f, "Handle(NULL)")
+        } else {
+            write!(f, "Handle({})", self.0 - 1)
+        }
+    }
+}
+
+/// The shared arena of transactional words.
+pub struct Heap {
+    words: Box<[AtomicU64]>,
+    /// Bump pointer; slot 0 is reserved so index 0 can mean NULL.
+    next: AtomicUsize,
+}
+
+impl Heap {
+    /// Creates a heap holding `capacity` words (plus the reserved null slot).
+    pub fn new(capacity: usize) -> Heap {
+        assert!(
+            capacity < u32::MAX as usize - 1,
+            "heap capacity must fit in 32-bit handles"
+        );
+        let mut v = Vec::with_capacity(capacity + 1);
+        v.resize_with(capacity + 1, || AtomicU64::new(0));
+        Heap {
+            words: v.into_boxed_slice(),
+            next: AtomicUsize::new(1),
+        }
+    }
+
+    /// Total usable words.
+    pub fn capacity(&self) -> usize {
+        self.words.len() - 1
+    }
+
+    /// Words handed out so far.
+    pub fn allocated(&self) -> usize {
+        self.next.load(Ordering::Relaxed) - 1
+    }
+
+    /// Allocates `n` contiguous zeroed words, or `None` if the arena is
+    /// exhausted. Lock-free (single `fetch_add`).
+    pub fn alloc(&self, n: usize) -> Option<Handle> {
+        if n == 0 {
+            return Some(Handle::NULL);
+        }
+        let start = self.next.fetch_add(n, Ordering::Relaxed);
+        if start + n > self.words.len() {
+            // Over-reserved past the end; the arena is effectively full.
+            // (The bump pointer is monotone; wasting the reservation is fine.)
+            return None;
+        }
+        Some(Handle(start as u32))
+    }
+
+    /// Relaxed load of a word. Callers are responsible for ordering via the
+    /// algorithm's timestamp protocol.
+    #[inline]
+    pub fn load(&self, h: Handle) -> u64 {
+        debug_assert!(!h.is_null(), "load through null handle");
+        self.words[h.0 as usize].load(Ordering::Relaxed)
+    }
+
+    /// Relaxed store of a word (commit write-back, or initialization of
+    /// still-private freshly allocated records).
+    #[inline]
+    pub fn store(&self, h: Handle, v: u64) {
+        debug_assert!(!h.is_null(), "store through null handle");
+        self.words[h.0 as usize].store(v, Ordering::Relaxed);
+    }
+
+    /// Bounds-checking variant used by server threads on untrusted request
+    /// contents (a corrupted address must not fault the server).
+    #[inline]
+    pub(crate) fn store_checked(&self, addr: u32, v: u64) -> bool {
+        if addr == 0 || addr as usize >= self.words.len() {
+            return false;
+        }
+        self.words[addr as usize].store(v, Ordering::Relaxed);
+        true
+    }
+}
+
+impl fmt::Debug for Heap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Heap")
+            .field("capacity", &self.capacity())
+            .field("allocated", &self.allocated())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn null_handle_properties() {
+        assert!(Handle::NULL.is_null());
+        assert_eq!(Handle::from_word(0), Handle::NULL);
+        assert_eq!(Handle::NULL.to_word(), 0);
+    }
+
+    #[test]
+    fn alloc_returns_distinct_zeroed_words() {
+        let heap = Heap::new(100);
+        let a = heap.alloc(3).unwrap();
+        let b = heap.alloc(2).unwrap();
+        assert_ne!(a, b);
+        for i in 0..3 {
+            assert_eq!(heap.load(a.field(i)), 0);
+        }
+        heap.store(a, 42);
+        assert_eq!(heap.load(a), 42);
+        assert_eq!(heap.load(b), 0, "allocations must not alias");
+    }
+
+    #[test]
+    fn alloc_zero_words_is_null() {
+        let heap = Heap::new(10);
+        assert!(heap.alloc(0).unwrap().is_null());
+        assert_eq!(heap.allocated(), 0);
+    }
+
+    #[test]
+    fn alloc_exhaustion_returns_none() {
+        let heap = Heap::new(8);
+        assert!(heap.alloc(8).is_some());
+        assert!(heap.alloc(1).is_none());
+    }
+
+    #[test]
+    fn handle_word_roundtrip() {
+        let heap = Heap::new(10);
+        let h = heap.alloc(1).unwrap();
+        let w = h.to_word();
+        assert_eq!(Handle::from_word(w), h);
+    }
+
+    #[test]
+    fn field_addressing() {
+        let heap = Heap::new(10);
+        let rec = heap.alloc(4).unwrap();
+        for i in 0..4 {
+            heap.store(rec.field(i), i as u64 * 10);
+        }
+        for i in 0..4 {
+            assert_eq!(heap.load(rec.field(i)), i as u64 * 10);
+        }
+    }
+
+    #[test]
+    fn store_checked_rejects_bad_addresses() {
+        let heap = Heap::new(4);
+        assert!(!heap.store_checked(0, 1), "null must be rejected");
+        assert!(!heap.store_checked(100, 1), "out of range must be rejected");
+        let h = heap.alloc(1).unwrap();
+        assert!(heap.store_checked(h.addr(), 9));
+        assert_eq!(heap.load(h), 9);
+    }
+
+    #[test]
+    fn concurrent_alloc_never_overlaps() {
+        let heap = Arc::new(Heap::new(10_000));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let heap = Arc::clone(&heap);
+            handles.push(std::thread::spawn(move || {
+                let mut mine = Vec::new();
+                for _ in 0..100 {
+                    let h = heap.alloc(5).unwrap();
+                    mine.push(h.0);
+                }
+                mine
+            }));
+        }
+        let mut all: Vec<u32> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        for pair in all.windows(2) {
+            assert!(pair[1] - pair[0] >= 5, "overlapping allocations");
+        }
+    }
+}

@@ -1,0 +1,454 @@
+//! # rinval — Remote Invalidation STM
+//!
+//! A word-based software transactional memory implementing the algorithms of
+//! *"Remote Invalidation: Optimizing the Critical Path of Memory
+//! Transactions"* (Hassan, Palmieri, Ravindran — IPDPS 2014), together with
+//! the two baselines the paper evaluates against:
+//!
+//! | [`AlgorithmKind`] | Paper role |
+//! |---|---|
+//! | [`AlgorithmKind::NOrec`] | validation-based coarse-grained baseline (Dalessandro et al.) |
+//! | [`AlgorithmKind::InvalStm`] | commit-time invalidation baseline (Gottschlich et al., Algorithm 1) |
+//! | [`AlgorithmKind::RInvalV1`] | commit executed remotely on a dedicated commit-server (Algorithm 2) |
+//! | [`AlgorithmKind::RInvalV2`] | + invalidation parallelized over invalidation-servers (Algorithm 3) |
+//! | [`AlgorithmKind::RInvalV3`] | + commit-server may run ahead of lagging invalidators (Algorithm 4) |
+//! | [`AlgorithmKind::Tml`] | transactional mutex lock (extra reference point, paper §II) |
+//! | [`AlgorithmKind::CoarseLock`] | single global lock, no speculation (Fig. 1b) |
+//! | [`AlgorithmKind::Tl2`] | fine-grained ownership-record baseline the paper contrasts against (§II) |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use rinval::{AlgorithmKind, Stm};
+//!
+//! let stm = Stm::new(AlgorithmKind::RInvalV2 { invalidators: 2 });
+//! let counter = stm.alloc_init(&[0]);
+//!
+//! std::thread::scope(|s| {
+//!     for _ in 0..4 {
+//!         s.spawn(|| {
+//!             let mut th = stm.register_thread();
+//!             for _ in 0..100 {
+//!                 th.run(|tx| {
+//!                     let v = tx.read(counter)?;
+//!                     tx.write(counter, v + 1)
+//!                 });
+//!             }
+//!         });
+//!     }
+//! });
+//! assert_eq!(stm.peek(counter), 400);
+//! ```
+//!
+//! ## Memory model
+//!
+//! The paper assumes sequential consistency (its footnote 6 inserts fences
+//! "when necessary"). Here all timestamp, status and request-state accesses
+//! use `SeqCst` and the seqlock data path uses the standard
+//! relaxed-loads-between-fences recipe; each algorithm module documents the
+//! orderings it relies on.
+
+#![warn(missing_docs)]
+
+pub mod bloom;
+pub mod cm;
+pub mod policy;
+pub mod heap;
+pub mod logs;
+pub mod registry;
+pub mod stats;
+pub mod sync;
+pub mod tvar;
+
+mod algo;
+mod server;
+mod txn;
+
+pub use heap::{Handle, Heap};
+pub use policy::CmPolicy;
+pub use stats::PhaseStats;
+pub use tvar::{TVar, Word};
+pub use txn::{ThreadHandle, Txn};
+
+use bloom::AtomicBloom;
+use registry::Registry;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use sync::CachePadded;
+
+/// Error type signalling that the current transaction attempt must abort.
+///
+/// Returned by transactional operations when the transaction was invalidated
+/// or failed validation; propagate it with `?` and [`ThreadHandle::run`]
+/// will retry the closure. Also constructible by user code to request a
+/// retry ([`Txn::user_abort`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Aborted;
+
+impl std::fmt::Display for Aborted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "transaction aborted")
+    }
+}
+
+impl std::error::Error for Aborted {}
+
+/// Result of a transactional operation.
+pub type TxResult<T> = Result<T, Aborted>;
+
+/// Which concurrency-control algorithm an [`Stm`] instance runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AlgorithmKind {
+    /// One global lock held for the whole transaction body; no speculation,
+    /// no metadata. The paper's Fig. 1(b) reference point.
+    CoarseLock,
+    /// Transactional Mutex Lock: speculative readers validated against a
+    /// global sequence lock; the first write upgrades to exclusive.
+    Tml,
+    /// NOrec: lazy versioning, value-based incremental validation, single
+    /// global sequence lock acquired at commit.
+    NOrec,
+    /// InvalSTM-style commit-time invalidation (paper Algorithm 1): the
+    /// committer invalidates conflicting in-flight transactions under the
+    /// global lock, so per-read validation is O(1).
+    InvalStm,
+    /// RInval version 1 (paper Algorithm 2): commit (including
+    /// invalidation) executes on a dedicated commit-server thread; clients
+    /// communicate through cache-aligned request slots and never CAS.
+    RInvalV1,
+    /// RInval version 2 (paper Algorithm 3): invalidation runs in parallel
+    /// with write-back on `invalidators` dedicated server threads, each
+    /// owning a partition of the transaction registry.
+    RInvalV2 {
+        /// Number of invalidation-server threads (paper uses 4–8 on 64 cores).
+        invalidators: usize,
+    },
+    /// RInval version 3 (paper Algorithm 4): like V2, but the commit-server
+    /// may run up to `steps_ahead` commits ahead of lagging
+    /// invalidation-servers (robustness to server stalls).
+    RInvalV3 {
+        /// Number of invalidation-server threads.
+        invalidators: usize,
+        /// How many commits the commit-server may outrun the slowest
+        /// invalidation-server by.
+        steps_ahead: usize,
+    },
+    /// TL2 (Dice/Shalev/Shavit): fine-grained per-stripe versioned locks
+    /// with a global version clock — the fine-grained alternative the
+    /// paper contrasts coarse-grained designs against (§II).
+    Tl2,
+}
+
+impl AlgorithmKind {
+    /// Short stable name used in benchmark output (matches the paper's
+    /// legends where applicable).
+    pub fn name(&self) -> &'static str {
+        match self {
+            AlgorithmKind::CoarseLock => "coarse-lock",
+            AlgorithmKind::Tml => "tml",
+            AlgorithmKind::NOrec => "norec",
+            AlgorithmKind::InvalStm => "invalstm",
+            AlgorithmKind::RInvalV1 => "rinval-v1",
+            AlgorithmKind::RInvalV2 { .. } => "rinval-v2",
+            AlgorithmKind::RInvalV3 { .. } => "rinval-v3",
+            AlgorithmKind::Tl2 => "tl2",
+        }
+    }
+
+    /// Number of invalidation-server threads this algorithm spawns.
+    pub fn invalidators(&self) -> usize {
+        match *self {
+            AlgorithmKind::RInvalV2 { invalidators } => invalidators.max(1),
+            AlgorithmKind::RInvalV3 { invalidators, .. } => invalidators.max(1),
+            _ => 0,
+        }
+    }
+
+    /// Number of commits the commit-server may run ahead (V3 only).
+    pub fn steps_ahead(&self) -> usize {
+        match *self {
+            AlgorithmKind::RInvalV3 { steps_ahead, .. } => steps_ahead,
+            _ => 0,
+        }
+    }
+
+    /// True for the RInval family (which spawns a commit-server).
+    pub fn is_remote(&self) -> bool {
+        matches!(
+            self,
+            AlgorithmKind::RInvalV1
+                | AlgorithmKind::RInvalV2 { .. }
+                | AlgorithmKind::RInvalV3 { .. }
+        )
+    }
+
+    /// The algorithm line-up evaluated in the paper's figures
+    /// (NOrec, InvalSTM, RInval-V1, RInval-V2 with 4 invalidators).
+    pub fn paper_lineup() -> [AlgorithmKind; 4] {
+        [
+            AlgorithmKind::NOrec,
+            AlgorithmKind::InvalStm,
+            AlgorithmKind::RInvalV1,
+            AlgorithmKind::RInvalV2 { invalidators: 4 },
+        ]
+    }
+}
+
+/// Shared state behind an [`Stm`]: heap, registry and the global protocol
+/// words. Server threads hold an `Arc` of this.
+pub(crate) struct StmInner {
+    pub(crate) heap: Heap,
+    pub(crate) registry: Registry,
+    pub(crate) algo: AlgorithmKind,
+    /// The global sequence-lock timestamp. Odd = a commit is in flight.
+    /// Under RInval only the commit-server ever writes it.
+    pub(crate) timestamp: CachePadded<AtomicU64>,
+    /// Per-invalidation-server local timestamps (RInval V2/V3); each chases
+    /// `timestamp` in increments of 2.
+    pub(crate) inval_ts: Box<[CachePadded<AtomicU64>]>,
+    /// Ring of commit write signatures handed from the commit-server to the
+    /// invalidation-servers; commit number `c` uses slot `c % ring.len()`.
+    pub(crate) commit_ring: Box<[AtomicBloom]>,
+    /// Requester registry index for each ring slot, so invalidation-servers
+    /// skip the committer itself (its reads always intersect its writes).
+    pub(crate) commit_req: Box<[AtomicUsize]>,
+    /// V3's `num_steps_ahead` in timestamp units (2 × commits).
+    pub(crate) steps_ahead_ts: u64,
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) profile: bool,
+    pub(crate) cm_policy: policy::CmPolicy,
+    /// TL2's ownership-record table (present only under `Tl2`).
+    pub(crate) orecs: Option<algo::tl2::OrecTable>,
+}
+
+impl StmInner {
+    /// Invalidation-server index responsible for registry slot `idx`.
+    #[inline]
+    pub(crate) fn inval_server_of(&self, idx: usize) -> usize {
+        idx % self.inval_ts.len().max(1)
+    }
+}
+
+/// Configures and builds an [`Stm`].
+pub struct StmBuilder {
+    algo: AlgorithmKind,
+    heap_words: usize,
+    max_threads: usize,
+    profile: bool,
+    cm_policy: policy::CmPolicy,
+    tl2_stripes: usize,
+}
+
+impl StmBuilder {
+    /// Size of the transactional heap in 64-bit words (default `1 << 20`).
+    pub fn heap_words(mut self, words: usize) -> Self {
+        self.heap_words = words;
+        self
+    }
+
+    /// Maximum concurrently registered client threads (default 64, like the
+    /// paper's testbed core count).
+    pub fn max_threads(mut self, n: usize) -> Self {
+        self.max_threads = n;
+        self
+    }
+
+    /// Enables per-phase timing (validation / commit / abort buckets) at the
+    /// cost of two clock reads per transactional operation. Required by the
+    /// Fig. 2 / Fig. 3 harnesses; off by default.
+    pub fn profile(mut self, on: bool) -> Self {
+        self.profile = on;
+        self
+    }
+
+    /// Contention-management policy (default: committer always wins, as
+    /// evaluated in the paper; see [`CmPolicy::ReaderBias`] for the §V
+    /// future-work variant).
+    pub fn cm_policy(mut self, policy: policy::CmPolicy) -> Self {
+        self.cm_policy = policy;
+        self
+    }
+
+    /// Size of TL2's ownership-record table (stripes; rounded up to a
+    /// power of two, default 2^16). Ignored by other algorithms.
+    pub fn tl2_stripes(mut self, stripes: usize) -> Self {
+        self.tl2_stripes = stripes;
+        self
+    }
+
+    /// Builds the STM and spawns its server threads (if the algorithm is
+    /// remote).
+    pub fn build(self) -> Stm {
+        let invalidators = self.algo.invalidators();
+        let ring_len = self.algo.steps_ahead() + 1;
+        let inner = Arc::new(StmInner {
+            heap: Heap::new(self.heap_words),
+            registry: Registry::new(self.max_threads),
+            algo: self.algo,
+            timestamp: CachePadded::new(AtomicU64::new(0)),
+            inval_ts: (0..invalidators)
+                .map(|_| CachePadded::new(AtomicU64::new(0)))
+                .collect(),
+            commit_ring: (0..if self.algo.is_remote() { ring_len } else { 0 })
+                .map(|_| AtomicBloom::new())
+                .collect(),
+            commit_req: (0..if self.algo.is_remote() { ring_len } else { 0 })
+                .map(|_| AtomicUsize::new(usize::MAX))
+                .collect(),
+            steps_ahead_ts: self.algo.steps_ahead() as u64 * 2,
+            shutdown: AtomicBool::new(false),
+            profile: self.profile,
+            cm_policy: self.cm_policy,
+            orecs: if self.algo == AlgorithmKind::Tl2 {
+                Some(algo::tl2::OrecTable::new(self.tl2_stripes))
+            } else {
+                None
+            },
+        });
+
+        let mut servers: Vec<JoinHandle<()>> = Vec::new();
+        match self.algo {
+            AlgorithmKind::RInvalV1 => {
+                let i = Arc::clone(&inner);
+                servers.push(
+                    std::thread::Builder::new()
+                        .name("rinval-commit".into())
+                        .spawn(move || server::commit_server_v1(&i))
+                        .expect("spawn commit-server"),
+                );
+            }
+            AlgorithmKind::RInvalV2 { .. } | AlgorithmKind::RInvalV3 { .. } => {
+                let i = Arc::clone(&inner);
+                servers.push(
+                    std::thread::Builder::new()
+                        .name("rinval-commit".into())
+                        .spawn(move || server::commit_server_v2(&i))
+                        .expect("spawn commit-server"),
+                );
+                for k in 0..invalidators {
+                    let i = Arc::clone(&inner);
+                    servers.push(
+                        std::thread::Builder::new()
+                            .name(format!("rinval-inval-{k}"))
+                            .spawn(move || server::invalidation_server(&i, k))
+                            .expect("spawn invalidation-server"),
+                    );
+                }
+            }
+            _ => {}
+        }
+
+        Stm { inner, servers }
+    }
+}
+
+/// A software transactional memory instance: heap + algorithm + (for the
+/// RInval family) its server threads.
+///
+/// Threads participate by calling [`Stm::register_thread`]; the returned
+/// [`ThreadHandle`] borrows the `Stm`, so all transactional work is
+/// guaranteed to finish before the `Stm` (and its servers) shut down.
+pub struct Stm {
+    inner: Arc<StmInner>,
+    servers: Vec<JoinHandle<()>>,
+}
+
+impl Stm {
+    /// Builder with explicit configuration.
+    pub fn builder(algo: AlgorithmKind) -> StmBuilder {
+        StmBuilder {
+            algo,
+            heap_words: 1 << 20,
+            max_threads: 64,
+            profile: false,
+            cm_policy: policy::CmPolicy::CommitterWins,
+            tl2_stripes: 1 << 16,
+        }
+    }
+
+    /// An STM with default configuration (1 Mi-word heap, 64 thread slots).
+    pub fn new(algo: AlgorithmKind) -> Stm {
+        Stm::builder(algo).build()
+    }
+
+    /// The algorithm this instance runs.
+    pub fn algorithm(&self) -> AlgorithmKind {
+        self.inner.algo
+    }
+
+    /// Registers the calling thread, claiming a registry slot.
+    ///
+    /// # Panics
+    /// If more than `max_threads` handles are alive at once.
+    pub fn register_thread(&self) -> ThreadHandle<'_> {
+        let slot = self
+            .inner
+            .registry
+            .claim()
+            .expect("Stm: max_threads exceeded; raise StmBuilder::max_threads");
+        ThreadHandle::new(&self.inner, slot)
+    }
+
+    /// Non-transactional allocation of `n` zeroed words, for building the
+    /// initial state before threads start.
+    ///
+    /// # Panics
+    /// If the heap is exhausted.
+    pub fn alloc(&self, n: usize) -> Handle {
+        self.inner.heap.alloc(n).expect("rinval heap exhausted")
+    }
+
+    /// Allocates and initializes a record non-transactionally.
+    pub fn alloc_init(&self, vals: &[u64]) -> Handle {
+        let h = self.alloc(vals.len());
+        for (i, &v) in vals.iter().enumerate() {
+            self.inner.heap.store(h.field(i as u32), v);
+        }
+        h
+    }
+
+    /// Non-transactional read, for quiescent verification (no transactions
+    /// running) or debugging. Not opaque.
+    pub fn peek(&self, h: Handle) -> u64 {
+        // Pair with any in-flight commit's release of the seqlock so that a
+        // quiescent observer sees completed write-backs.
+        self.inner.timestamp.load(Ordering::SeqCst);
+        self.inner.heap.load(h)
+    }
+
+    /// Non-transactional write, for setup phases only.
+    pub fn poke(&self, h: Handle, v: u64) {
+        self.inner.heap.store(h, v);
+    }
+
+    /// Current value of the global timestamp (diagnostics; equals 2 × the
+    /// number of write-transactions committed so far).
+    pub fn timestamp(&self) -> u64 {
+        self.inner.timestamp.load(Ordering::SeqCst)
+    }
+
+    /// Words allocated from the heap so far.
+    pub fn heap_allocated(&self) -> usize {
+        self.inner.heap.allocated()
+    }
+}
+
+impl Drop for Stm {
+    fn drop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        for s in self.servers.drain(..) {
+            let _ = s.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for Stm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Stm")
+            .field("algorithm", &self.inner.algo)
+            .field("heap", &self.inner.heap)
+            .field("servers", &self.servers.len())
+            .finish()
+    }
+}

@@ -1,0 +1,63 @@
+//! Contention-management policy.
+//!
+//! The paper's base design always resolves conflicts in favour of the
+//! committer ("winning commit", §IV-D) because anything smarter adds work
+//! to the commit/invalidation critical path. Its future-work section (§V)
+//! proposes the one exception worth that cost: on read-intensive
+//! workloads (genome, vacation) a single committer can doom many readers
+//! who each re-execute a long read phase, so *"bias the contention
+//! manager to readers, and allow it to abort the committing transaction
+//! if it is conflicting with many readers"*.
+//!
+//! [`CmPolicy::ReaderBias`] implements exactly that: before invalidating,
+//! the committer (or the commit-server acting for it) counts the live
+//! transactions its write signature intersects; if more than `max_doomed`
+//! would die, the committer aborts itself instead. The count is a single
+//! extra scan over the registry — the same loop invalidation runs anyway.
+
+/// How write/read conflicts are resolved at commit time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Default)]
+pub enum CmPolicy {
+    /// The committing transaction always wins; every conflicting in-flight
+    /// transaction is invalidated (the paper's evaluated design).
+    #[default]
+    CommitterWins,
+    /// The committer aborts itself when its write signature intersects
+    /// more than `max_doomed` live transactions (the paper's §V
+    /// future-work proposal for read-intensive workloads).
+    ReaderBias {
+        /// Maximum number of in-flight transactions the committer may doom
+        /// before it must yield and retry instead.
+        max_doomed: u32,
+    },
+}
+
+
+impl CmPolicy {
+    /// The doom budget: `u32::MAX` under [`CmPolicy::CommitterWins`].
+    #[inline]
+    pub fn max_doomed(&self) -> u32 {
+        match *self {
+            CmPolicy::CommitterWins => u32::MAX,
+            CmPolicy::ReaderBias { max_doomed } => max_doomed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_committer_wins() {
+        assert_eq!(CmPolicy::default(), CmPolicy::CommitterWins);
+        assert_eq!(CmPolicy::default().max_doomed(), u32::MAX);
+    }
+
+    #[test]
+    fn reader_bias_exposes_budget() {
+        let p = CmPolicy::ReaderBias { max_doomed: 3 };
+        assert_eq!(p.max_doomed(), 3);
+    }
+}

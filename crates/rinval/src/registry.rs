@@ -1,0 +1,225 @@
+//! The in-flight transaction registry and the cache-aligned request array.
+//!
+//! The paper's Fig. 5 shows one cache-aligned record per client thread
+//! holding `request_state`, `tx_status` and the write-set reference; the
+//! invalidation side additionally needs each transaction's read Bloom
+//! filter. We fuse both into a single [`TxSlot`] per registered thread —
+//! this *is* the "cache-aligned requests array": every client spins only on
+//! its own slot, and servers walk the array.
+//!
+//! Slot indices are claimed when a thread registers with the STM and
+//! recycled when its [`crate::ThreadHandle`] drops.
+
+use crate::bloom::AtomicBloom;
+use crate::logs::WriteEntry;
+use crate::sync::CachePadded;
+use std::sync::atomic::{AtomicPtr, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// `tx_status`: no transaction running in this slot.
+pub const TX_IDLE: u32 = 0;
+/// `tx_status`: transaction running and not (yet) invalidated.
+pub const TX_ALIVE: u32 = 1;
+/// `tx_status`: a committer's write signature intersected this
+/// transaction's read signature; it must abort at its next status check.
+pub const TX_INVALIDATED: u32 = 2;
+
+/// `request_state`: no commit request outstanding.
+pub const REQ_IDLE: u32 = 0;
+/// `request_state`: client published a commit request; server will pick it up.
+pub const REQ_PENDING: u32 = 1;
+/// `request_state`: server committed the request's write-set.
+pub const REQ_COMMITTED: u32 = 2;
+/// `request_state`: server refused the request (client was invalidated).
+pub const REQ_ABORTED: u32 = 3;
+
+/// Per-thread descriptor: transaction metadata + commit-request mailbox.
+///
+/// Cache-line alignment keeps a client's spin variable (`request_state`)
+/// off every other client's lines, which is the mechanism behind the
+/// paper's claim that RInval "removes all CAS operations and replaces them
+/// with cache-aligned requests".
+#[repr(align(128))]
+#[derive(Debug)]
+pub struct TxSlot {
+    /// [`TX_IDLE`] / [`TX_ALIVE`] / [`TX_INVALIDATED`]. Written by the owner
+    /// (begin/end) and by committers or servers (invalidation).
+    pub tx_status: AtomicU32,
+    /// Incremented each time the owner begins a transaction; lets servers
+    /// skip slots that changed owner mid-scan (diagnostics only).
+    pub epoch: AtomicU64,
+    /// Read signature, maintained by the owner on every transactional read,
+    /// scanned by committers (InvalSTM) or invalidation-servers (RInval).
+    pub read_bf: AtomicBloom,
+    /// [`REQ_IDLE`] / [`REQ_PENDING`] / [`REQ_COMMITTED`] / [`REQ_ABORTED`].
+    /// The only word a committing RInval client spins on.
+    pub request_state: AtomicU32,
+    /// Write signature of the published commit request.
+    pub req_write_bf: AtomicBloom,
+    /// Write-set of the published request. Valid from the `Release` store of
+    /// `REQ_PENDING` until the server's `REQ_COMMITTED`/`REQ_ABORTED`
+    /// response; the client keeps the backing buffer alive while it spins.
+    pub req_ws_ptr: AtomicPtr<WriteEntry>,
+    /// Length of the write-set at `req_ws_ptr`.
+    pub req_ws_len: AtomicUsize,
+}
+
+impl Default for TxSlot {
+    fn default() -> Self {
+        TxSlot {
+            tx_status: AtomicU32::new(TX_IDLE),
+            epoch: AtomicU64::new(0),
+            read_bf: AtomicBloom::new(),
+            request_state: AtomicU32::new(REQ_IDLE),
+            req_write_bf: AtomicBloom::new(),
+            req_ws_ptr: AtomicPtr::new(std::ptr::null_mut()),
+            req_ws_len: AtomicUsize::new(0),
+        }
+    }
+}
+
+impl TxSlot {
+    /// Owner-side reset at transaction begin.
+    pub fn begin(&self) {
+        self.epoch.fetch_add(1, Ordering::Relaxed);
+        self.read_bf.owner_clear();
+        // The status store must not be reordered after the first read's
+        // signature insertion; `SeqCst` keeps the whole begin sequence simple.
+        self.tx_status.store(TX_ALIVE, Ordering::SeqCst);
+    }
+
+    /// Owner-side teardown at transaction end (commit or abort).
+    pub fn end(&self) {
+        self.tx_status.store(TX_IDLE, Ordering::SeqCst);
+    }
+
+    /// True if a transaction is currently running (or waiting to commit) in
+    /// this slot. Invalidators only examine live slots.
+    #[inline]
+    pub fn is_live(&self) -> bool {
+        self.tx_status.load(Ordering::SeqCst) != TX_IDLE
+    }
+}
+
+/// Fixed array of [`TxSlot`]s plus slot-index recycling.
+#[derive(Debug)]
+pub struct Registry {
+    slots: Box<[CachePadded<TxSlot>]>,
+    free: Mutex<Vec<usize>>,
+}
+
+impl Registry {
+    /// A registry with capacity for `max_threads` concurrently registered
+    /// client threads.
+    pub fn new(max_threads: usize) -> Registry {
+        assert!(max_threads >= 1, "registry needs at least one slot");
+        let mut v = Vec::with_capacity(max_threads);
+        v.resize_with(max_threads, || CachePadded::new(TxSlot::default()));
+        Registry {
+            slots: v.into_boxed_slice(),
+            free: Mutex::new((0..max_threads).rev().collect()),
+        }
+    }
+
+    /// Number of slots (== `max_threads` at construction).
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True if the registry has no slots (never true in practice).
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Claims a free slot index for a registering thread.
+    pub fn claim(&self) -> Option<usize> {
+        self.free.lock().unwrap().pop()
+    }
+
+    /// Returns a slot index when its owner deregisters.
+    pub fn release(&self, idx: usize) {
+        debug_assert!(idx < self.slots.len());
+        self.slots[idx].tx_status.store(TX_IDLE, Ordering::SeqCst);
+        self.slots[idx].request_state.store(REQ_IDLE, Ordering::SeqCst);
+        self.free.lock().unwrap().push(idx);
+    }
+
+    /// The slot at `idx`.
+    #[inline]
+    pub fn slot(&self, idx: usize) -> &TxSlot {
+        &self.slots[idx]
+    }
+
+    /// Iterates over all slots with their indices (server scan order).
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &TxSlot)> {
+        self.slots.iter().enumerate().map(|(i, s)| (i, &**s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_is_cache_aligned() {
+        assert_eq!(std::mem::align_of::<TxSlot>(), 128);
+        let reg = Registry::new(4);
+        let a = reg.slot(0) as *const _ as usize;
+        let b = reg.slot(1) as *const _ as usize;
+        assert_eq!(a % 128, 0);
+        assert!(b - a >= 128);
+    }
+
+    #[test]
+    fn claim_release_recycles_indices() {
+        let reg = Registry::new(2);
+        let a = reg.claim().unwrap();
+        let b = reg.claim().unwrap();
+        assert_ne!(a, b);
+        assert!(reg.claim().is_none(), "capacity exhausted");
+        reg.release(a);
+        assert_eq!(reg.claim(), Some(a));
+    }
+
+    #[test]
+    fn begin_end_lifecycle() {
+        let reg = Registry::new(1);
+        let s = reg.slot(0);
+        assert!(!s.is_live());
+        s.begin();
+        assert!(s.is_live());
+        assert_eq!(s.tx_status.load(Ordering::SeqCst), TX_ALIVE);
+        s.tx_status.store(TX_INVALIDATED, Ordering::SeqCst);
+        assert!(s.is_live(), "invalidated is still live until owner ends");
+        s.end();
+        assert!(!s.is_live());
+    }
+
+    #[test]
+    fn begin_clears_read_signature_and_bumps_epoch() {
+        let reg = Registry::new(1);
+        let s = reg.slot(0);
+        s.read_bf.owner_insert(7);
+        let e0 = s.epoch.load(Ordering::Relaxed);
+        s.begin();
+        assert!(!s.read_bf.may_contain(7));
+        assert_eq!(s.epoch.load(Ordering::Relaxed), e0 + 1);
+    }
+
+    #[test]
+    fn release_resets_request_state() {
+        let reg = Registry::new(1);
+        let idx = reg.claim().unwrap();
+        reg.slot(idx).request_state.store(REQ_PENDING, Ordering::SeqCst);
+        reg.release(idx);
+        assert_eq!(reg.slot(idx).request_state.load(Ordering::SeqCst), REQ_IDLE);
+    }
+
+    #[test]
+    fn iter_visits_every_slot() {
+        let reg = Registry::new(5);
+        assert_eq!(reg.iter().count(), 5);
+        let idxs: Vec<usize> = reg.iter().map(|(i, _)| i).collect();
+        assert_eq!(idxs, vec![0, 1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,237 @@
+//! Server threads for the RInval family.
+//!
+//! * [`commit_server_v1`] — Algorithm 2's `COMMIT-SERVER LOOP`: one thread
+//!   owns the global timestamp, performs invalidation *and* write-back for
+//!   every request, and is the only writer of shared metadata (so the
+//!   timestamp is bumped with plain stores, never CAS).
+//! * [`commit_server_v2`] — Algorithm 3/4: write-back only; invalidation is
+//!   delegated to [`invalidation_server`]s through a ring of commit write
+//!   signatures. With `steps_ahead = 0` this is exactly V2 (the server
+//!   waits for every invalidator before each request); with `steps_ahead =
+//!   n > 0` it is V3 (only the *requester's* invalidator must be caught up,
+//!   and others may lag up to `n` commits).
+//! * [`invalidation_server`] — Algorithm 3's `INVALIDATION-SERVER LOOP`:
+//!   chases the global timestamp in steps of 2, scanning its partition of
+//!   the registry against the published signature.
+//!
+//! Servers spin with [`Backoff`] (bounded spin, then yield) instead of the
+//! paper's pinned-core busy loop so the protocol stays live on
+//! oversubscribed hosts; the logic is otherwise a line-by-line transcription.
+
+use crate::bloom::Bloom;
+use crate::registry::{REQ_ABORTED, REQ_COMMITTED, REQ_PENDING, TX_ALIVE, TX_INVALIDATED};
+use crate::sync::Backoff;
+use crate::StmInner;
+use std::sync::atomic::{fence, Ordering};
+
+/// Applies a published write-set to the heap.
+///
+/// # Safety contract (checked dynamically where possible)
+/// `ptr/len` were published by a client that is spinning on its
+/// `request_state` and will not free or mutate the buffer until we respond;
+/// the `Acquire`-ordered observation of `REQ_PENDING` made the buffer's
+/// contents visible. Addresses are bounds-checked so a corrupt request
+/// cannot fault the server.
+unsafe fn write_back(stm: &StmInner, ptr: *const crate::logs::WriteEntry, len: usize) {
+    if ptr.is_null() {
+        return;
+    }
+    for i in 0..len {
+        let e = unsafe { *ptr.add(i) };
+        stm.heap.store_checked(e.addr, e.val);
+    }
+}
+
+/// Invalidates every live transaction (except `skip`) whose read signature
+/// intersects `wbf`. Shared by V1's inline invalidation and the
+/// invalidation-servers.
+fn invalidate_conflicting(stm: &StmInner, wbf: &Bloom, skip: usize, partition: Option<(usize, usize)>) {
+    for (i, slot) in stm.registry.iter() {
+        if i == skip {
+            continue;
+        }
+        if let Some((k, nk)) = partition {
+            if i % nk != k {
+                continue;
+            }
+        }
+        if slot.is_live() && slot.read_bf.intersects_plain(wbf) {
+            // CAS (not store) so an already-idle slot is never marked: the
+            // server must not leak an INVALIDATED flag into a slot that has
+            // since been recycled to a different thread.
+            let _ = slot.tx_status.compare_exchange(
+                TX_ALIVE,
+                TX_INVALIDATED,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            );
+        }
+    }
+}
+
+/// Counts live transactions (other than `skip`) whose read signature
+/// intersects `wbf` — the reader-bias policy's doom census.
+fn count_conflicting(stm: &StmInner, wbf: &Bloom, skip: usize) -> u32 {
+    let mut n = 0;
+    for (i, slot) in stm.registry.iter() {
+        if i != skip && slot.is_live() && slot.read_bf.intersects_plain(wbf) {
+            n += 1;
+        }
+    }
+    n
+}
+
+/// RInval-V1 commit-server (paper Algorithm 2, lines 10–25).
+pub(crate) fn commit_server_v1(stm: &StmInner) {
+    let mut wbf = Bloom::new();
+    let mut idle = Backoff::new();
+    while !stm.shutdown.load(Ordering::SeqCst) {
+        let mut found = false;
+        for (i, slot) in stm.registry.iter() {
+            // Line 14: look for a pending request. SeqCst load doubles as
+            // the acquire of the request payload.
+            if slot.request_state.load(Ordering::SeqCst) != REQ_PENDING {
+                continue;
+            }
+            found = true;
+            // Line 15: the client may have been invalidated by a commit we
+            // processed after it went PENDING; checking *before* bumping the
+            // timestamp saves a useless version bump (paper §IV-A).
+            if slot.tx_status.load(Ordering::SeqCst) == TX_INVALIDATED {
+                slot.request_state.store(REQ_ABORTED, Ordering::SeqCst);
+                continue;
+            }
+            slot.req_write_bf.load_into(&mut wbf);
+            // Reader-bias policy (§V future work): yield to the readers if
+            // this commit would doom too many of them.
+            let budget = stm.cm_policy.max_doomed();
+            if budget != u32::MAX && count_conflicting(stm, &wbf, i) > budget {
+                slot.request_state.store(REQ_ABORTED, Ordering::SeqCst);
+                continue;
+            }
+            let ptr = slot.req_ws_ptr.load(Ordering::Relaxed);
+            let len = slot.req_ws_len.load(Ordering::Relaxed);
+            // Line 18: enter the odd (commit-in-flight) phase. Plain store:
+            // this thread is the timestamp's only writer.
+            let t = stm.timestamp.load(Ordering::Relaxed);
+            stm.timestamp.store(t + 1, Ordering::SeqCst);
+            fence(Ordering::SeqCst);
+            // Lines 19–21: invalidate conflicting in-flight transactions.
+            invalidate_conflicting(stm, &wbf, i, None);
+            // Line 22: publish the write-set.
+            unsafe { write_back(stm, ptr, len) };
+            // Line 23: leave the odd phase.
+            stm.timestamp.store(t + 2, Ordering::SeqCst);
+            // Line 24: answer the client.
+            slot.request_state.store(REQ_COMMITTED, Ordering::SeqCst);
+        }
+        if found {
+            idle.reset();
+        } else {
+            idle.snooze();
+        }
+    }
+}
+
+/// RInval-V2/V3 commit-server (paper Algorithms 3 and 4).
+pub(crate) fn commit_server_v2(stm: &StmInner) {
+    let mut wbf = Bloom::new();
+    let mut idle = Backoff::new();
+    let ring = stm.commit_ring.len() as u64;
+    let nk = stm.inval_ts.len();
+    'scan: while !stm.shutdown.load(Ordering::SeqCst) {
+        let mut found = false;
+        for (i, slot) in stm.registry.iter() {
+            if slot.request_state.load(Ordering::SeqCst) != REQ_PENDING {
+                continue;
+            }
+            found = true;
+            let t = stm.timestamp.load(Ordering::Relaxed);
+            // Algorithm 4, line 2: only take a request whose own
+            // invalidation-server has processed every prior commit —
+            // otherwise the tx_status check below would not be
+            // authoritative. (In V2 the global wait below implies this;
+            // checking first lets V3 skip past a stalled partition.)
+            let req_server = stm.inval_server_of(i);
+            if stm.inval_ts[req_server].load(Ordering::SeqCst) < t {
+                continue;
+            }
+            // Algorithm 3 line 7 / Algorithm 4 line 5: wait until no
+            // invalidation-server lags more than `steps_ahead` commits, so
+            // the ring slot we are about to overwrite has been consumed.
+            let mut bk = Backoff::new();
+            for k in 0..nk {
+                while t.saturating_sub(stm.inval_ts[k].load(Ordering::SeqCst)) > stm.steps_ahead_ts
+                {
+                    if stm.shutdown.load(Ordering::SeqCst) {
+                        break 'scan;
+                    }
+                    bk.snooze();
+                }
+            }
+            // Algorithm 3, lines 9–10: authoritative invalidation check.
+            if slot.tx_status.load(Ordering::SeqCst) == TX_INVALIDATED {
+                slot.request_state.store(REQ_ABORTED, Ordering::SeqCst);
+                continue;
+            }
+            // Algorithm 3 line 12 / Algorithm 4 line 8: hand the write
+            // signature (and the requester's identity, so invalidators can
+            // skip it — a read-modify-write transaction always intersects
+            // its own read signature) to the invalidation-servers via the
+            // ring slot for commit number t/2.
+            slot.req_write_bf.load_into(&mut wbf);
+            // Reader-bias policy (§V future work): the commit-server does
+            // the census itself before involving the invalidation-servers.
+            let budget = stm.cm_policy.max_doomed();
+            if budget != u32::MAX && count_conflicting(stm, &wbf, i) > budget {
+                slot.request_state.store(REQ_ABORTED, Ordering::SeqCst);
+                continue;
+            }
+            let ring_idx = ((t / 2) % ring) as usize;
+            stm.commit_ring[ring_idx].store_from(&wbf);
+            stm.commit_req[ring_idx].store(i, Ordering::Relaxed);
+            let ptr = slot.req_ws_ptr.load(Ordering::Relaxed);
+            let len = slot.req_ws_len.load(Ordering::Relaxed);
+            // Algorithm 3, line 13: entering the odd phase *is* the signal
+            // that starts the invalidation-servers on this commit.
+            stm.timestamp.store(t + 1, Ordering::SeqCst);
+            fence(Ordering::SeqCst);
+            // Line 14: write-back runs in parallel with invalidation.
+            unsafe { write_back(stm, ptr, len) };
+            stm.timestamp.store(t + 2, Ordering::SeqCst);
+            slot.request_state.store(REQ_COMMITTED, Ordering::SeqCst);
+        }
+        if found {
+            idle.reset();
+        } else {
+            idle.snooze();
+        }
+    }
+}
+
+/// Invalidation-server `k` of `stm.inval_ts.len()` (paper Algorithm 3,
+/// lines 18–25). Owns registry slots `i` with `i % num_servers == k`.
+pub(crate) fn invalidation_server(stm: &StmInner, k: usize) {
+    let mut wbf = Bloom::new();
+    let mut idle = Backoff::new();
+    let me = &stm.inval_ts[k];
+    let ring = stm.commit_ring.len() as u64;
+    let nk = stm.inval_ts.len();
+    while !stm.shutdown.load(Ordering::SeqCst) {
+        let my = me.load(Ordering::Relaxed);
+        // Line 20: a commit with number `my/2` is (or has been) in flight.
+        if stm.timestamp.load(Ordering::SeqCst) > my {
+            let ring_idx = ((my / 2) % ring) as usize;
+            stm.commit_ring[ring_idx].load_into(&mut wbf);
+            let requester = stm.commit_req[ring_idx].load(Ordering::Relaxed);
+            fence(Ordering::SeqCst);
+            // Lines 21–23: scan my partition.
+            invalidate_conflicting(stm, &wbf, requester, Some((k, nk)));
+            // Line 24: catch up by one commit.
+            me.store(my + 2, Ordering::SeqCst);
+            idle.reset();
+        } else {
+            idle.snooze();
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Critical-path phase accounting.
+//!
+//! Figures 2 and 3 of the paper break transaction execution time into
+//! *validation* (inside reads), *commit* (lock acquisition + invalidation +
+//! write-back, or waiting for the commit-server) and *other* (everything
+//! else, dominated by non-transactional work). [`PhaseStats`] accumulates
+//! exactly those buckets per thread; the figure harness sums them across
+//! threads and normalizes, reproducing the paper's stacked bars.
+//!
+//! Profiling is opt-in ([`crate::StmBuilder::profile`]) because two
+//! `Instant::now()` calls per read would distort throughput benchmarks.
+
+use std::time::{Duration, Instant};
+
+/// Per-thread accumulated phase times and event counts.
+#[derive(Clone, Debug, Default)]
+pub struct PhaseStats {
+    /// Time spent validating reads (seqlock retries, NOrec read-set
+    /// revalidation, invalidation-flag checks).
+    pub validation: Duration,
+    /// Time spent in the commit routine (including spinning on the global
+    /// lock or on the request slot).
+    pub commit: Duration,
+    /// Time spent rolling back and backing off after aborts.
+    pub abort: Duration,
+    /// Wall time spent inside `run` (transactional + retries).
+    pub total_tx: Duration,
+    /// Committed transactions.
+    pub commits: u64,
+    /// Aborted attempts (a committed transaction that retried twice counts 2).
+    pub aborts: u64,
+    /// Transactional reads performed (including re-executions).
+    pub reads: u64,
+    /// Transactional writes performed (including re-executions).
+    pub writes: u64,
+}
+
+impl PhaseStats {
+    /// Merges another thread's stats into this one.
+    pub fn merge(&mut self, other: &PhaseStats) {
+        self.validation += other.validation;
+        self.commit += other.commit;
+        self.abort += other.abort;
+        self.total_tx += other.total_tx;
+        self.commits += other.commits;
+        self.aborts += other.aborts;
+        self.reads += other.reads;
+        self.writes += other.writes;
+    }
+
+    /// Resets all counters.
+    pub fn reset(&mut self) {
+        *self = PhaseStats::default();
+    }
+
+    /// `(validation, commit, other)` fractions of a given wall-clock budget,
+    /// matching the paper's Fig. 2/3 stacking. `other` absorbs abort time
+    /// and non-transactional work.
+    pub fn breakdown(&self, wall: Duration) -> (f64, f64, f64) {
+        let w = wall.as_secs_f64().max(f64::MIN_POSITIVE);
+        let v = (self.validation.as_secs_f64() / w).min(1.0);
+        let c = (self.commit.as_secs_f64() / w).min(1.0 - v);
+        (v, c, (1.0 - v - c).max(0.0))
+    }
+
+    /// Abort-to-attempt ratio in `[0, 1)`.
+    pub fn abort_rate(&self) -> f64 {
+        let attempts = self.commits + self.aborts;
+        if attempts == 0 {
+            0.0
+        } else {
+            self.aborts as f64 / attempts as f64
+        }
+    }
+}
+
+/// A started phase timer; see [`Probe::start`].
+#[derive(Clone, Copy, Debug)]
+pub struct Probe {
+    at: Option<Instant>,
+}
+
+impl Probe {
+    /// Starts timing if `enabled`, otherwise is free.
+    #[inline]
+    pub fn start(enabled: bool) -> Probe {
+        Probe {
+            at: if enabled { Some(Instant::now()) } else { None },
+        }
+    }
+
+    /// Stops the timer, adding the elapsed time to `bucket`.
+    #[inline]
+    pub fn stop(self, bucket: &mut Duration) {
+        if let Some(at) = self.at {
+            *bucket += at.elapsed();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_zero() {
+        let s = PhaseStats::default();
+        assert_eq!(s.commits, 0);
+        assert_eq!(s.validation, Duration::ZERO);
+        assert_eq!(s.abort_rate(), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = PhaseStats {
+            commits: 3,
+            aborts: 1,
+            validation: Duration::from_millis(5),
+            ..Default::default()
+        };
+        let b = PhaseStats {
+            commits: 2,
+            aborts: 2,
+            validation: Duration::from_millis(7),
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.commits, 5);
+        assert_eq!(a.aborts, 3);
+        assert_eq!(a.validation, Duration::from_millis(12));
+    }
+
+    #[test]
+    fn breakdown_fractions_sum_to_one() {
+        let s = PhaseStats {
+            validation: Duration::from_millis(250),
+            commit: Duration::from_millis(250),
+            ..Default::default()
+        };
+        let (v, c, o) = s.breakdown(Duration::from_secs(1));
+        assert!((v - 0.25).abs() < 1e-9);
+        assert!((c - 0.25).abs() < 1e-9);
+        assert!((v + c + o - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn breakdown_clamps_overreported_time() {
+        // Phase timers can overlap wall time slightly under oversubscription;
+        // fractions must stay in range regardless.
+        let s = PhaseStats {
+            validation: Duration::from_secs(2),
+            commit: Duration::from_secs(2),
+            ..Default::default()
+        };
+        let (v, c, o) = s.breakdown(Duration::from_secs(1));
+        assert!(v <= 1.0 && c <= 1.0 && o >= 0.0);
+        assert!((v + c + o - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn abort_rate_computed() {
+        let s = PhaseStats {
+            commits: 3,
+            aborts: 1,
+            ..Default::default()
+        };
+        assert!((s.abort_rate() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disabled_probe_is_free_and_adds_nothing() {
+        let mut bucket = Duration::ZERO;
+        Probe::start(false).stop(&mut bucket);
+        assert_eq!(bucket, Duration::ZERO);
+    }
+
+    #[test]
+    fn enabled_probe_accumulates_time() {
+        let mut bucket = Duration::ZERO;
+        let p = Probe::start(true);
+        std::thread::sleep(Duration::from_millis(2));
+        p.stop(&mut bucket);
+        assert!(bucket >= Duration::from_millis(1));
+    }
+}

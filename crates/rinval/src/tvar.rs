@@ -1,0 +1,184 @@
+//! Typed transactional variables over the word heap.
+//!
+//! The STM itself is word-based (like RSTM); [`TVar<T>`] gives a thin typed
+//! veneer for any `T` that round-trips through a `u64` word via the
+//! [`Word`] trait. Multi-word records remain the job of the `txds` crate.
+
+use crate::heap::Handle;
+use crate::txn::Txn;
+use crate::{Stm, TxResult};
+use std::marker::PhantomData;
+
+/// Types that encode losslessly into one heap word.
+pub trait Word: Copy {
+    /// Encodes the value into a word.
+    fn to_word(self) -> u64;
+    /// Decodes a word produced by [`Word::to_word`].
+    fn from_word(w: u64) -> Self;
+}
+
+impl Word for u64 {
+    fn to_word(self) -> u64 {
+        self
+    }
+    fn from_word(w: u64) -> Self {
+        w
+    }
+}
+
+impl Word for u32 {
+    fn to_word(self) -> u64 {
+        self as u64
+    }
+    fn from_word(w: u64) -> Self {
+        w as u32
+    }
+}
+
+impl Word for i64 {
+    fn to_word(self) -> u64 {
+        self as u64
+    }
+    fn from_word(w: u64) -> Self {
+        w as i64
+    }
+}
+
+impl Word for i32 {
+    fn to_word(self) -> u64 {
+        self as u32 as u64
+    }
+    fn from_word(w: u64) -> Self {
+        w as u32 as i32
+    }
+}
+
+impl Word for usize {
+    fn to_word(self) -> u64 {
+        self as u64
+    }
+    fn from_word(w: u64) -> Self {
+        w as usize
+    }
+}
+
+impl Word for bool {
+    fn to_word(self) -> u64 {
+        self as u64
+    }
+    fn from_word(w: u64) -> Self {
+        w != 0
+    }
+}
+
+impl Word for f64 {
+    fn to_word(self) -> u64 {
+        self.to_bits()
+    }
+    fn from_word(w: u64) -> Self {
+        f64::from_bits(w)
+    }
+}
+
+impl Word for Handle {
+    fn to_word(self) -> u64 {
+        Handle::to_word(self)
+    }
+    fn from_word(w: u64) -> Self {
+        Handle::from_word(w)
+    }
+}
+
+/// A typed transactional variable: one heap word interpreted as `T`.
+pub struct TVar<T: Word> {
+    h: Handle,
+    _marker: PhantomData<T>,
+}
+
+// A TVar is just a handle; copying it aliases the same transactional word.
+impl<T: Word> Clone for TVar<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T: Word> Copy for TVar<T> {}
+
+impl<T: Word> TVar<T> {
+    /// Allocates a new variable with `init` as its initial value
+    /// (non-transactional; for setup).
+    pub fn new(stm: &Stm, init: T) -> TVar<T> {
+        let h = stm.alloc(1);
+        stm.poke(h, init.to_word());
+        TVar {
+            h,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Wraps an existing heap word.
+    pub fn from_handle(h: Handle) -> TVar<T> {
+        TVar {
+            h,
+            _marker: PhantomData,
+        }
+    }
+
+    /// The underlying heap word.
+    pub fn handle(&self) -> Handle {
+        self.h
+    }
+
+    /// Transactional read.
+    pub fn read(&self, tx: &mut Txn<'_>) -> TxResult<T> {
+        Ok(T::from_word(tx.read(self.h)?))
+    }
+
+    /// Transactional write.
+    pub fn write(&self, tx: &mut Txn<'_>, v: T) -> TxResult<()> {
+        tx.write(self.h, v.to_word())
+    }
+
+    /// Transactional read-modify-write.
+    pub fn modify(&self, tx: &mut Txn<'_>, f: impl FnOnce(T) -> T) -> TxResult<T> {
+        let v = f(self.read(tx)?);
+        self.write(tx, v)?;
+        Ok(v)
+    }
+
+    /// Non-transactional read for quiescent verification.
+    pub fn peek(&self, stm: &Stm) -> T {
+        T::from_word(stm.peek(self.h))
+    }
+}
+
+impl<T: Word> std::fmt::Debug for TVar<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "TVar({:?})", self.h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_roundtrips() {
+        assert_eq!(u64::from_word(42u64.to_word()), 42);
+        assert_eq!(i64::from_word((-7i64).to_word()), -7);
+        assert_eq!(i32::from_word((-7i32).to_word()), -7);
+        assert_eq!(u32::from_word(7u32.to_word()), 7);
+        assert_eq!(usize::from_word(123usize.to_word()), 123);
+        assert!(bool::from_word(true.to_word()));
+        assert!(!bool::from_word(false.to_word()));
+        let f = -3.25f64;
+        assert_eq!(f64::from_word(f.to_word()), f);
+        let nan = f64::from_word(f64::NAN.to_word());
+        assert!(nan.is_nan());
+    }
+
+    #[test]
+    fn handle_word_roundtrip() {
+        let h = Handle(5);
+        assert_eq!(<Handle as Word>::from_word(<Handle as Word>::to_word(h)), h);
+    }
+}

@@ -1,0 +1,270 @@
+//! Transaction execution: [`ThreadHandle`] (per-thread context with the
+//! retry loop) and [`Txn`] (the in-flight transaction passed to closures).
+//!
+//! The per-operation logic lives in `algo/*`; this module owns the state
+//! that survives across retries (logs, contention manager, stats) and the
+//! begin / run / commit / abort choreography shared by every algorithm.
+
+use crate::algo;
+use crate::bloom::Bloom;
+use crate::cm::ContentionManager;
+use crate::heap::Handle;
+use crate::logs::{ValueReadSet, WriteSet};
+use crate::stats::{PhaseStats, Probe};
+use crate::{Aborted, AlgorithmKind, StmInner, TxResult};
+
+/// Per-registered-thread transaction context.
+///
+/// Obtained from [`crate::Stm::register_thread`]; holds this thread's
+/// registry slot, its reusable read/write logs and its accumulated
+/// [`PhaseStats`]. Dropping the handle releases the slot for reuse.
+pub struct ThreadHandle<'a> {
+    pub(crate) stm: &'a StmInner,
+    pub(crate) slot_idx: usize,
+    cm: ContentionManager,
+    rs: ValueReadSet,
+    ws: WriteSet,
+    wbf: Bloom,
+    stats: PhaseStats,
+}
+
+impl<'a> ThreadHandle<'a> {
+    pub(crate) fn new(stm: &'a StmInner, slot_idx: usize) -> ThreadHandle<'a> {
+        ThreadHandle {
+            stm,
+            slot_idx,
+            cm: ContentionManager::new(slot_idx as u64 + 1),
+            rs: ValueReadSet::new(),
+            ws: WriteSet::new(),
+            wbf: Bloom::new(),
+            stats: PhaseStats::default(),
+        }
+    }
+
+    /// Index of this thread's registry slot (stable while the handle lives).
+    pub fn slot(&self) -> usize {
+        self.slot_idx
+    }
+
+    /// Accumulated phase statistics (meaningful when the STM was built with
+    /// [`crate::StmBuilder::profile`]; commit/abort *counts* are always
+    /// maintained).
+    pub fn stats(&self) -> &PhaseStats {
+        &self.stats
+    }
+
+    /// Takes and resets the accumulated statistics.
+    pub fn take_stats(&mut self) -> PhaseStats {
+        std::mem::take(&mut self.stats)
+    }
+
+    /// Runs `body` as a transaction, retrying on abort until it commits.
+    /// Returns the committed attempt's result.
+    ///
+    /// The closure may run many times; side effects outside the STM must be
+    /// idempotent. Within the closure, propagate [`Aborted`] with `?`.
+    pub fn run<T>(&mut self, mut body: impl FnMut(&mut Txn<'_>) -> TxResult<T>) -> T {
+        loop {
+            if let Ok(v) = self.attempt(&mut body) {
+                return v;
+            }
+        }
+    }
+
+    /// Like [`ThreadHandle::run`] but gives up after `max_attempts` aborts.
+    pub fn try_run<T>(
+        &mut self,
+        max_attempts: usize,
+        mut body: impl FnMut(&mut Txn<'_>) -> TxResult<T>,
+    ) -> TxResult<T> {
+        for _ in 0..max_attempts {
+            if let Ok(v) = self.attempt(&mut body) {
+                return Ok(v);
+            }
+        }
+        Err(Aborted)
+    }
+
+    /// One transaction attempt: begin → body → commit, with cleanup on
+    /// either failure path.
+    fn attempt<T>(&mut self, body: &mut impl FnMut(&mut Txn<'_>) -> TxResult<T>) -> TxResult<T> {
+        let profile = self.stm.profile;
+        let p_total = Probe::start(profile);
+        self.rs.clear();
+        self.ws.clear();
+        self.wbf.clear();
+
+        let mut tx = Txn {
+            stm: self.stm,
+            slot_idx: self.slot_idx,
+            snapshot: 0,
+            tml_writer: false,
+            rs: &mut self.rs,
+            ws: &mut self.ws,
+            wbf: &mut self.wbf,
+            stats: &mut self.stats,
+            profile,
+        };
+        algo::begin(&mut tx);
+
+        let outcome = body(&mut tx).and_then(|v| algo::commit(&mut tx).map(|()| v));
+        match outcome {
+            Ok(v) => {
+                algo::cleanup_commit(&mut tx);
+                self.stats.commits += 1;
+                p_total.stop(&mut self.stats.total_tx);
+                self.cm.on_commit();
+                Ok(v)
+            }
+            Err(Aborted) => {
+                let p_abort = Probe::start(profile);
+                algo::cleanup_abort(&mut tx);
+                self.stats.aborts += 1;
+                self.cm.on_abort();
+                p_abort.stop(&mut self.stats.abort);
+                p_total.stop(&mut self.stats.total_tx);
+                Err(Aborted)
+            }
+        }
+    }
+}
+
+impl Drop for ThreadHandle<'_> {
+    fn drop(&mut self) {
+        self.stm.registry.release(self.slot_idx);
+    }
+}
+
+impl std::fmt::Debug for ThreadHandle<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadHandle")
+            .field("slot", &self.slot_idx)
+            .field("algorithm", &self.stm.algo)
+            .finish()
+    }
+}
+
+/// An in-flight transaction. Created by [`ThreadHandle::run`] and passed to
+/// the transaction body.
+pub struct Txn<'t> {
+    pub(crate) stm: &'t StmInner,
+    pub(crate) slot_idx: usize,
+    /// Sequence-lock snapshot (NOrec / TML) or commit acquisition time.
+    pub(crate) snapshot: u64,
+    /// TML: whether this transaction has upgraded to the exclusive lock.
+    pub(crate) tml_writer: bool,
+    pub(crate) rs: &'t mut ValueReadSet,
+    pub(crate) ws: &'t mut WriteSet,
+    /// Private write signature, published at commit.
+    pub(crate) wbf: &'t mut Bloom,
+    pub(crate) stats: &'t mut PhaseStats,
+    pub(crate) profile: bool,
+}
+
+impl Txn<'_> {
+    /// Transactionally reads the word at `h`.
+    #[inline]
+    pub fn read(&mut self, h: Handle) -> TxResult<u64> {
+        self.stats.reads += 1;
+        let p = Probe::start(self.profile);
+        let r = match self.stm.algo {
+            AlgorithmKind::CoarseLock => Ok(algo::coarse::read(self, h)),
+            AlgorithmKind::Tml => algo::tml::read(self, h),
+            AlgorithmKind::NOrec => algo::norec::read(self, h),
+            AlgorithmKind::Tl2 => algo::tl2::read(self, h),
+            AlgorithmKind::InvalStm
+            | AlgorithmKind::RInvalV1
+            | AlgorithmKind::RInvalV2 { .. }
+            | AlgorithmKind::RInvalV3 { .. } => algo::invalstm::read(self, h),
+        };
+        p.stop(&mut self.stats.validation);
+        r
+    }
+
+    /// Transactionally writes `v` to the word at `h`.
+    #[inline]
+    pub fn write(&mut self, h: Handle, v: u64) -> TxResult<()> {
+        self.stats.writes += 1;
+        match self.stm.algo {
+            AlgorithmKind::CoarseLock => {
+                algo::coarse::write(self, h, v);
+                Ok(())
+            }
+            AlgorithmKind::Tml => algo::tml::write(self, h, v),
+            _ => {
+                // Lazy algorithms buffer the write; the Bloom signature gets
+                // one insertion per distinct address.
+                if self.ws.insert(h, v) {
+                    self.wbf.insert(h.addr());
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Reads a word that is known to encode a [`Handle`] (a transactional
+    /// pointer field).
+    #[inline]
+    pub fn read_handle(&mut self, h: Handle) -> TxResult<Handle> {
+        Ok(Handle::from_word(self.read(h)?))
+    }
+
+    /// Allocates `n` zeroed words inside the transaction.
+    ///
+    /// The record is private until a pointer to it is published through a
+    /// transactional [`Txn::write`], so it may be initialized with
+    /// [`Txn::init`] without logging. If the transaction aborts the words
+    /// leak (arena allocation; see `heap` module docs).
+    pub fn alloc(&mut self, n: usize) -> TxResult<Handle> {
+        match self.stm.heap.alloc(n) {
+            Some(h) => Ok(h),
+            None => panic!("rinval heap exhausted inside transaction"),
+        }
+    }
+
+    /// Initializes a field of a freshly allocated, still-private record
+    /// without going through the write-set.
+    ///
+    /// Visibility is guaranteed because the publishing pointer write is
+    /// ordered after these plain stores by the commit protocol's release
+    /// edge. Must only be used on records allocated by this transaction.
+    #[inline]
+    pub fn init(&mut self, h: Handle, v: u64) {
+        self.stm.heap.store(h, v);
+    }
+
+    /// Allocates and fully initializes a private record.
+    pub fn alloc_init(&mut self, vals: &[u64]) -> TxResult<Handle> {
+        let h = self.alloc(vals.len())?;
+        for (i, &v) in vals.iter().enumerate() {
+            self.init(h.field(i as u32), v);
+        }
+        Ok(h)
+    }
+
+    /// Aborts the current attempt; [`ThreadHandle::run`] will retry it.
+    /// Useful for optimistic retry loops ("wait until a flag flips").
+    pub fn user_abort<T>(&mut self) -> TxResult<T> {
+        Err(Aborted)
+    }
+
+    /// Number of writes buffered so far.
+    pub fn write_set_len(&self) -> usize {
+        self.ws.len()
+    }
+
+    /// True if the transaction has not written anything yet.
+    pub fn is_read_only(&self) -> bool {
+        self.ws.is_empty() && !self.tml_writer
+    }
+}
+
+impl std::fmt::Debug for Txn<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Txn")
+            .field("slot", &self.slot_idx)
+            .field("snapshot", &self.snapshot)
+            .field("writes", &self.ws.len())
+            .finish()
+    }
+}

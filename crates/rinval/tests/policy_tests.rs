@@ -1,0 +1,144 @@
+//! Reader-biased contention management (paper §V future work): the
+//! committer aborts itself instead of dooming more than `max_doomed`
+//! in-flight readers. Deterministic interleavings via nested handles.
+
+use rinval::{AlgorithmKind, CmPolicy, Stm, TxResult};
+
+fn inval_family() -> [AlgorithmKind; 3] {
+    [
+        AlgorithmKind::InvalStm,
+        AlgorithmKind::RInvalV1,
+        AlgorithmKind::RInvalV2 { invalidators: 2 },
+    ]
+}
+
+/// Budget 0: a committer conflicting with one live reader must yield; the
+/// reader survives and commits.
+#[test]
+fn reader_bias_aborts_committer() {
+    for algo in inval_family() {
+        let stm = Stm::builder(algo)
+            .heap_words(256)
+            .cm_policy(CmPolicy::ReaderBias { max_doomed: 0 })
+            .build();
+        let x = stm.alloc_init(&[10]);
+        let mut reader = stm.register_thread();
+        let mut writer = stm.register_thread();
+
+        let read_value = reader.run(|tx| {
+            let v = tx.read(x)?;
+            // The conflicting writer must fail (would doom 1 > 0 readers).
+            let w: TxResult<()> = writer.try_run(1, |tx2| tx2.write(x, 99));
+            assert!(w.is_err(), "writer won despite reader bias under {algo:?}");
+            // And we must still be alive and consistent.
+            let v2 = tx.read(x)?;
+            assert_eq!(v, v2);
+            Ok(v)
+        });
+        assert_eq!(read_value, 10);
+        assert_eq!(stm.peek(x), 10, "yielded write leaked under {algo:?}");
+    }
+}
+
+/// Under the default committer-wins policy the same interleaving kills
+/// the reader instead.
+#[test]
+fn committer_wins_dooms_reader() {
+    for algo in inval_family() {
+        let stm = Stm::builder(algo).heap_words(256).build();
+        let x = stm.alloc_init(&[10]);
+        let mut reader = stm.register_thread();
+        let mut writer = stm.register_thread();
+
+        let r: TxResult<u64> = reader.try_run(1, |tx| {
+            let _ = tx.read(x)?;
+            writer.run(|tx2| tx2.write(x, 99));
+            tx.read(x) // must detect the invalidation
+        });
+        assert!(r.is_err(), "reader survived a conflicting commit under {algo:?}");
+        assert_eq!(stm.peek(x), 99);
+    }
+}
+
+/// A budget large enough for the conflict lets the committer through.
+#[test]
+fn reader_bias_budget_allows_small_conflicts() {
+    for algo in inval_family() {
+        let stm = Stm::builder(algo)
+            .heap_words(256)
+            .cm_policy(CmPolicy::ReaderBias { max_doomed: 4 })
+            .build();
+        let x = stm.alloc_init(&[10]);
+        let mut reader = stm.register_thread();
+        let mut writer = stm.register_thread();
+
+        let r: TxResult<u64> = reader.try_run(1, |tx| {
+            let _ = tx.read(x)?;
+            let w: TxResult<()> = writer.try_run(1, |tx2| tx2.write(x, 99));
+            assert!(w.is_ok(), "writer within budget aborted under {algo:?}");
+            tx.read(x)
+        });
+        assert!(r.is_err(), "doomed reader survived under {algo:?}");
+        assert_eq!(stm.peek(x), 99);
+    }
+}
+
+/// Non-conflicting commits are unaffected by the policy.
+#[test]
+fn reader_bias_ignores_disjoint_commits() {
+    for algo in inval_family() {
+        let stm = Stm::builder(algo)
+            .heap_words(256)
+            .cm_policy(CmPolicy::ReaderBias { max_doomed: 0 })
+            .build();
+        let x = stm.alloc_init(&[1]);
+        let y = stm.alloc_init(&[2]);
+        let mut reader = stm.register_thread();
+        let mut writer = stm.register_thread();
+
+        let ok = reader.run(|tx| {
+            let v = tx.read(x)?;
+            let w: TxResult<()> = writer.try_run(1, |tx2| tx2.write(y, 7));
+            assert!(w.is_ok(), "disjoint write rejected under {algo:?}");
+            Ok(v)
+        });
+        assert_eq!(ok, 1);
+        assert_eq!(stm.peek(y), 7);
+    }
+}
+
+/// Progress under contention: with randomized backoff the yielding
+/// committer eventually gets through once the readers drain.
+#[test]
+fn reader_bias_is_not_a_livelock() {
+    for algo in inval_family() {
+        let stm = Stm::builder(algo)
+            .heap_words(256)
+            .cm_policy(CmPolicy::ReaderBias { max_doomed: 1 })
+            .build();
+        let x = stm.alloc_init(&[0]);
+        let stm = &stm;
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                s.spawn(move || {
+                    let mut th = stm.register_thread();
+                    for _ in 0..200 {
+                        th.run(|tx| {
+                            let v = tx.read(x)?;
+                            tx.write(x, v + 1)
+                        });
+                    }
+                });
+            }
+            for _ in 0..2 {
+                s.spawn(move || {
+                    let mut th = stm.register_thread();
+                    for _ in 0..200 {
+                        th.run(|tx| tx.read(x).map(|_| ()));
+                    }
+                });
+            }
+        });
+        assert_eq!(stm.peek(x), 400, "lost increments under {algo:?}");
+    }
+}

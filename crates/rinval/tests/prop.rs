@@ -1,0 +1,125 @@
+//! Property-based tests of the STM's core substrates.
+
+use proptest::prelude::*;
+use rinval::bloom::{AtomicBloom, Bloom};
+use rinval::logs::{ValueReadSet, WriteSet};
+use rinval::{AlgorithmKind, Handle, Stm};
+use std::collections::HashMap;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Bloom filters never produce false negatives.
+    #[test]
+    fn bloom_no_false_negatives(addrs in prop::collection::vec(any::<u32>(), 0..300)) {
+        let mut b = Bloom::new();
+        for &a in &addrs {
+            b.insert(a);
+        }
+        for &a in &addrs {
+            prop_assert!(b.may_contain(a));
+        }
+    }
+
+    /// Plain and atomic filters agree bit-for-bit under the same inserts.
+    #[test]
+    fn bloom_plain_and_atomic_agree(addrs in prop::collection::vec(any::<u32>(), 0..200),
+                                    probes in prop::collection::vec(any::<u32>(), 0..100)) {
+        let mut plain = Bloom::new();
+        let atomic = AtomicBloom::new();
+        for &a in &addrs {
+            plain.insert(a);
+            atomic.owner_insert(a);
+        }
+        for &p in &probes {
+            prop_assert_eq!(plain.may_contain(p), atomic.may_contain(p));
+        }
+        let mut roundtrip = Bloom::new();
+        atomic.load_into(&mut roundtrip);
+        for &p in &probes {
+            prop_assert_eq!(plain.may_contain(p), roundtrip.may_contain(p));
+        }
+    }
+
+    /// If two signatures share an inserted address they must intersect.
+    #[test]
+    fn bloom_intersection_soundness(shared in any::<u32>(),
+                                    left in prop::collection::vec(any::<u32>(), 0..100),
+                                    right in prop::collection::vec(any::<u32>(), 0..100)) {
+        let mut a = Bloom::new();
+        let mut b = Bloom::new();
+        for &x in &left {
+            a.insert(x);
+        }
+        for &x in &right {
+            b.insert(x);
+        }
+        a.insert(shared);
+        b.insert(shared);
+        prop_assert!(a.intersects(&b));
+        prop_assert!(b.intersects(&a));
+    }
+
+    /// WriteSet behaves like a HashMap with insertion-ordered iteration of
+    /// first occurrences.
+    #[test]
+    fn write_set_matches_hashmap(ops in prop::collection::vec((1u32..500, any::<u64>()), 0..400)) {
+        let mut ws = WriteSet::new();
+        let mut model: HashMap<u32, u64> = HashMap::new();
+        for &(addr, val) in &ops {
+            let h = Handle::from_word(addr as u64);
+            let fresh = ws.insert(h, val);
+            prop_assert_eq!(fresh, model.insert(addr, val).is_none());
+        }
+        prop_assert_eq!(ws.len(), model.len());
+        for (&addr, &val) in &model {
+            prop_assert_eq!(ws.get(Handle::from_word(addr as u64)), Some(val));
+        }
+        // Entries hold the latest value for each address.
+        for e in ws.entries() {
+            prop_assert_eq!(model.get(&e.addr).copied(), Some(e.val));
+        }
+        // Absent keys are absent.
+        prop_assert_eq!(ws.get(Handle::from_word(1000)), None);
+    }
+
+    /// ValueReadSet preserves order and contents.
+    #[test]
+    fn value_read_set_is_a_log(pairs in prop::collection::vec((1u32..100, any::<u64>()), 0..100)) {
+        let mut rs = ValueReadSet::new();
+        for &(a, v) in &pairs {
+            rs.push(Handle::from_word(a as u64), v);
+        }
+        prop_assert_eq!(rs.len(), pairs.len());
+        for (i, &(a, v)) in pairs.iter().enumerate() {
+            prop_assert_eq!(rs.entries()[i], (Handle::from_word(a as u64), v));
+        }
+    }
+
+    /// Sequential transactions on any algorithm behave like direct memory:
+    /// a random program of reads and writes produces exactly the model
+    /// state.
+    #[test]
+    fn sequential_transactions_match_model(
+        ops in prop::collection::vec((0usize..16, any::<u64>(), any::<bool>()), 1..120)
+    ) {
+        for algo in [AlgorithmKind::NOrec, AlgorithmKind::RInvalV1] {
+            let stm = Stm::builder(algo).heap_words(64).build();
+            let base = stm.alloc(16);
+            let mut model = [0u64; 16];
+            let mut th = stm.register_thread();
+            for &(i, v, is_write) in &ops {
+                if is_write {
+                    th.run(|tx| tx.write(base.field(i as u32), v));
+                    model[i] = v;
+                } else {
+                    let got = th.run(|tx| tx.read(base.field(i as u32)));
+                    prop_assert_eq!(got, model[i], "algo {:?}", algo);
+                }
+            }
+            for (i, &m) in model.iter().enumerate() {
+                prop_assert_eq!(stm.peek(base.field(i as u32)), m);
+            }
+        }
+    }
+}

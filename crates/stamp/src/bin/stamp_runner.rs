@@ -1,0 +1,88 @@
+//! Command-line runner for the STAMP-like applications.
+//!
+//! ```sh
+//! cargo run --release -p stamp --bin stamp_runner -- <app> [algorithm] [threads]
+//! cargo run --release -p stamp --bin stamp_runner -- all rinval-v2 4
+//! ```
+//!
+//! Runs the chosen application with its default configuration, verifies
+//! the result where the app exposes a checker, and prints the wall time,
+//! throughput and abort rate — the same columns the paper's Figure 8
+//! discussion cares about.
+
+use rinval::{AlgorithmKind, Stm};
+use stamp::App;
+
+fn parse_algorithm(name: &str) -> Option<AlgorithmKind> {
+    Some(match name {
+        "coarse-lock" => AlgorithmKind::CoarseLock,
+        "tml" => AlgorithmKind::Tml,
+        "norec" => AlgorithmKind::NOrec,
+        "tl2" => AlgorithmKind::Tl2,
+        "invalstm" => AlgorithmKind::InvalStm,
+        "rinval-v1" => AlgorithmKind::RInvalV1,
+        "rinval-v2" => AlgorithmKind::RInvalV2 { invalidators: 4 },
+        "rinval-v3" => AlgorithmKind::RInvalV3 {
+            invalidators: 4,
+            steps_ahead: 4,
+        },
+        _ => return None,
+    })
+}
+
+fn parse_app(name: &str) -> Option<App> {
+    App::ALL.into_iter().find(|a| a.name() == name)
+}
+
+fn run_one(app: App, algo: AlgorithmKind, threads: usize) {
+    let stm = Stm::builder(algo)
+        .heap_words(app.default_heap_words())
+        .build();
+    let (report, verdict) = app.run_small(&stm, threads);
+    let status = match verdict {
+        Ok(()) => "verified",
+        Err(ref e) => e.as_str(),
+    };
+    println!(
+        "{:>10} {:>10} t={threads} wall={:>8.1}ms commits={:>7} aborts={:>6} rate={:>5.1}% [{status}]",
+        app.name(),
+        algo.name(),
+        report.wall.as_secs_f64() * 1000.0,
+        report.stats.commits,
+        report.stats.aborts,
+        report.stats.abort_rate() * 100.0,
+    );
+    if verdict.is_err() {
+        std::process::exit(2);
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let app_arg = args.get(1).map(String::as_str).unwrap_or("all");
+    let algo = match parse_algorithm(args.get(2).map(String::as_str).unwrap_or("rinval-v2")) {
+        Some(a) => a,
+        None => {
+            eprintln!(
+                "unknown algorithm; choose from coarse-lock, tml, norec, tl2, invalstm, \
+                 rinval-v1, rinval-v2, rinval-v3"
+            );
+            std::process::exit(1);
+        }
+    };
+    let threads: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(2);
+
+    if app_arg == "all" {
+        for app in App::ALL {
+            run_one(app, algo, threads);
+        }
+    } else if let Some(app) = parse_app(app_arg) {
+        run_one(app, algo, threads);
+    } else {
+        eprintln!(
+            "unknown app '{app_arg}'; choose from all, {}",
+            App::ALL.map(|a| a.name()).join(", ")
+        );
+        std::process::exit(1);
+    }
+}

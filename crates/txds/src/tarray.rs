@@ -1,0 +1,141 @@
+//! Transactional fixed-size array of words.
+//!
+//! `kmeans` keeps its cluster centroids (and membership counts) in flat
+//! arrays updated transactionally; `ssca2` keeps degree counters. This is
+//! the thin typed wrapper those applications use.
+
+use rinval::{Handle, Stm, TxResult, Txn, Word};
+use std::marker::PhantomData;
+
+/// A shared transactional array of `len` elements of `T: Word`.
+#[derive(Debug)]
+pub struct TArray<T: Word> {
+    base: Handle,
+    len: usize,
+    _marker: PhantomData<T>,
+}
+
+impl<T: Word> Clone for TArray<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T: Word> Copy for TArray<T> {}
+
+impl<T: Word> TArray<T> {
+    /// Allocates a zero-initialized array (`T::from_word(0)` per element).
+    pub fn new(stm: &Stm, len: usize) -> TArray<T> {
+        TArray {
+            base: stm.alloc(len.max(1)),
+            len,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Element count.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the array has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    fn cell(&self, i: usize) -> Handle {
+        assert!(i < self.len, "index {i} out of range {}", self.len);
+        self.base.field(i as u32)
+    }
+
+    /// Transactional read of element `i`.
+    pub fn get(&self, tx: &mut Txn<'_>, i: usize) -> TxResult<T> {
+        Ok(T::from_word(tx.read(self.cell(i))?))
+    }
+
+    /// Transactional write of element `i`.
+    pub fn set(&self, tx: &mut Txn<'_>, i: usize, v: T) -> TxResult<()> {
+        tx.write(self.cell(i), v.to_word())
+    }
+
+    /// Transactional read-modify-write of element `i`.
+    pub fn update(&self, tx: &mut Txn<'_>, i: usize, f: impl FnOnce(T) -> T) -> TxResult<T> {
+        let v = f(self.get(tx, i)?);
+        self.set(tx, i, v)?;
+        Ok(v)
+    }
+
+    /// Non-transactional read for setup/verification.
+    pub fn peek(&self, stm: &Stm, i: usize) -> T {
+        T::from_word(stm.peek(self.cell(i)))
+    }
+
+    /// Non-transactional write for setup.
+    pub fn poke(&self, stm: &Stm, i: usize, v: T) {
+        stm.poke(self.cell(i), v.to_word());
+    }
+
+    /// Non-transactional full snapshot.
+    pub fn snapshot(&self, stm: &Stm) -> Vec<T> {
+        (0..self.len).map(|i| self.peek(stm, i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rinval::AlgorithmKind;
+
+    #[test]
+    fn get_set_update() {
+        let stm = Stm::builder(AlgorithmKind::NOrec).heap_words(256).build();
+        let a: TArray<i64> = TArray::new(&stm, 4);
+        let mut th = stm.register_thread();
+        assert_eq!(th.run(|tx| a.get(tx, 0)), 0);
+        th.run(|tx| a.set(tx, 0, -5));
+        assert_eq!(th.run(|tx| a.get(tx, 0)), -5);
+        let v = th.run(|tx| a.update(tx, 0, |x| x * 2));
+        assert_eq!(v, -10);
+        assert_eq!(a.peek(&stm, 0), -10);
+    }
+
+    #[test]
+    fn float_elements_roundtrip() {
+        let stm = Stm::builder(AlgorithmKind::NOrec).heap_words(256).build();
+        let a: TArray<f64> = TArray::new(&stm, 2);
+        let mut th = stm.register_thread();
+        th.run(|tx| a.set(tx, 1, 2.5));
+        assert_eq!(th.run(|tx| a.get(tx, 1)), 2.5);
+        assert_eq!(a.snapshot(&stm), vec![0.0, 2.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bounds_checked() {
+        let stm = Stm::builder(AlgorithmKind::NOrec).heap_words(256).build();
+        let a: TArray<u64> = TArray::new(&stm, 2);
+        a.peek(&stm, 2);
+    }
+
+    #[test]
+    fn concurrent_updates_to_disjoint_cells() {
+        let stm = Stm::builder(AlgorithmKind::RInvalV2 { invalidators: 2 })
+            .heap_words(1 << 10)
+            .build();
+        let a: TArray<u64> = TArray::new(&stm, 4);
+        let stm = &stm;
+        std::thread::scope(|s| {
+            for t in 0..4usize {
+                s.spawn(move || {
+                    let mut th = stm.register_thread();
+                    for _ in 0..100 {
+                        th.run(|tx| a.update(tx, t, |v| v + 1).map(|_| ()));
+                    }
+                });
+            }
+        });
+        for i in 0..4 {
+            assert_eq!(a.peek(stm, i), 100);
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! A concurrent bank: transfer transactions race with full-ledger audits.
+//!
+//! The audit transaction sums every account *inside one transaction*, so
+//! under an opaque STM it must always observe the conserved total — run
+//! with any algorithm and watch zero violations. This is the classic
+//! snapshot-consistency demo the paper's opacity guarantee (§IV-E)
+//! enables.
+//!
+//! ```sh
+//! cargo run --example bank [algorithm] [threads]
+//! # e.g.
+//! cargo run --example bank rinval-v2 4
+//! ```
+
+use rinval_repro::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const ACCOUNTS: usize = 64;
+const INITIAL: u64 = 1_000;
+
+fn parse_algorithm(name: &str) -> AlgorithmKind {
+    match name {
+        "coarse-lock" => AlgorithmKind::CoarseLock,
+        "tml" => AlgorithmKind::Tml,
+        "norec" => AlgorithmKind::NOrec,
+        "tl2" => AlgorithmKind::Tl2,
+        "invalstm" => AlgorithmKind::InvalStm,
+        "rinval-v1" => AlgorithmKind::RInvalV1,
+        "rinval-v2" => AlgorithmKind::RInvalV2 { invalidators: 2 },
+        "rinval-v3" => AlgorithmKind::RInvalV3 {
+            invalidators: 2,
+            steps_ahead: 4,
+        },
+        other => {
+            eprintln!("unknown algorithm '{other}', using rinval-v2");
+            AlgorithmKind::RInvalV2 { invalidators: 2 }
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let algo = parse_algorithm(args.get(1).map(String::as_str).unwrap_or("rinval-v2"));
+    let threads: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(4);
+
+    let stm = Stm::builder(algo).heap_words(1 << 12).build();
+    println!("bank: {} transfer threads + 1 auditor, algorithm {}", threads, algo.name());
+
+    let accounts = stm.alloc(ACCOUNTS);
+    for i in 0..ACCOUNTS {
+        stm.poke(accounts.field(i as u32), INITIAL);
+    }
+    let expected = INITIAL * ACCOUNTS as u64;
+    let transfers_done = AtomicU64::new(0);
+    let transfers_done = &transfers_done;
+    let stm_ref = &stm;
+
+    std::thread::scope(|s| {
+        for t in 0..threads as u64 {
+            s.spawn(move || {
+                let mut th = stm_ref.register_thread();
+                let mut seed = 0x1234_5678 ^ (t + 1);
+                for _ in 0..20_000 {
+                    seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    let from = (seed >> 33) as usize % ACCOUNTS;
+                    let to = (seed >> 13) as usize % ACCOUNTS;
+                    if from == to {
+                        continue;
+                    }
+                    let amount = seed % 50;
+                    th.run(|tx| {
+                        let f = tx.read(accounts.field(from as u32))?;
+                        if f < amount {
+                            return Ok(()); // insufficient funds; no-op
+                        }
+                        let g = tx.read(accounts.field(to as u32))?;
+                        tx.write(accounts.field(from as u32), f - amount)?;
+                        tx.write(accounts.field(to as u32), g + amount)
+                    });
+                    transfers_done.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+        s.spawn(move || {
+            let mut th = stm_ref.register_thread();
+            let mut audits = 0u64;
+            loop {
+                let total = th.run(|tx| {
+                    let mut sum = 0u64;
+                    for i in 0..ACCOUNTS {
+                        sum += tx.read(accounts.field(i as u32))?;
+                    }
+                    Ok(sum)
+                });
+                assert_eq!(total, expected, "AUDIT VIOLATION: torn snapshot observed!");
+                audits += 1;
+                if transfers_done.load(Ordering::Relaxed) >= threads as u64 * 20_000 {
+                    println!("auditor: {audits} audits, every one saw the conserved total {expected}");
+                    break;
+                }
+                std::thread::yield_now();
+            }
+        });
+    });
+
+    let final_total: u64 = (0..ACCOUNTS)
+        .map(|i| stm.peek(accounts.field(i as u32)))
+        .sum();
+    println!(
+        "final ledger total: {final_total} (expected {expected}) — {}",
+        if final_total == expected { "OK" } else { "BROKEN" }
+    );
+    assert_eq!(final_total, expected);
+}

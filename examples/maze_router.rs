@@ -1,0 +1,148 @@
+//! STAMP-labyrinth live demo: concurrent maze routing with ASCII output.
+//!
+//! Several router threads claim disjoint paths through a shared grid
+//! using the labyrinth pattern — long private BFS, then one short
+//! all-or-nothing claim transaction. Afterwards the maze is printed with
+//! each path labelled by a letter; overlapping claims are impossible by
+//! construction and double-checked here.
+//!
+//! ```sh
+//! cargo run --example maze_router [width] [height] [routes]
+//! ```
+
+use rinval_repro::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let width: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(40);
+    let height: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(16);
+    let routes: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(10);
+
+    let stm = Stm::builder(AlgorithmKind::RInvalV2 { invalidators: 2 })
+        .heap_words(1 << 14)
+        .build();
+    let grid = TBitmap::new(&stm, width * height);
+
+    let cfg = stamp::labyrinth::Config {
+        width,
+        height,
+        routes,
+        seed: 0xCAFE,
+    };
+    let requests = stamp::labyrinth::generate_requests(&cfg);
+
+    // Route concurrently (the same engine the Figure-8 benchmark uses,
+    // inlined here so we can keep the paths for drawing).
+    let next = AtomicUsize::new(0);
+    let routed: Mutex<Vec<Vec<u64>>> = Mutex::new(Vec::new());
+    let stm_ref = &stm;
+    let requests_ref = &requests;
+    let next_ref = &next;
+    let routed_ref = &routed;
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            s.spawn(move || {
+                let mut th = stm_ref.register_thread();
+                let cells = (width * height) as usize;
+                let mut occupied = vec![false; cells];
+                loop {
+                    let i = next_ref.fetch_add(1, Ordering::Relaxed);
+                    if i >= requests_ref.len() {
+                        break;
+                    }
+                    let (src, dst) = requests_ref[i];
+                    'retry: for _ in 0..20 {
+                        for (c, o) in occupied.iter_mut().enumerate() {
+                            *o = stm_ref.peek(grid.word_handle(c as u64)) & (1 << (c as u64 % 64))
+                                != 0;
+                        }
+                        let Some(path) = bfs(width, height, &occupied, src, dst) else {
+                            break 'retry;
+                        };
+                        if th.run(|tx| grid.try_claim(tx, &path)) {
+                            routed_ref.lock().unwrap().push(path);
+                            break 'retry;
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    let paths = routed.into_inner().unwrap();
+    println!(
+        "routed {}/{} requests on a {width}x{height} grid:",
+        paths.len(),
+        requests.len()
+    );
+
+    // Draw.
+    let mut canvas = vec![b'.'; (width * height) as usize];
+    for (i, p) in paths.iter().enumerate() {
+        let label = b'a' + (i % 26) as u8;
+        for &c in p {
+            assert_eq!(canvas[c as usize], b'.', "two paths share cell {c}!");
+            canvas[c as usize] = label;
+        }
+        canvas[p[0] as usize] = label.to_ascii_uppercase();
+        canvas[*p.last().unwrap() as usize] = label.to_ascii_uppercase();
+    }
+    for y in 0..height {
+        let rowstart = (y * width) as usize;
+        println!(
+            "  {}",
+            std::str::from_utf8(&canvas[rowstart..rowstart + width as usize]).unwrap()
+        );
+    }
+    let claimed: u64 = paths.iter().map(|p| p.len() as u64).sum();
+    println!(
+        "grid bits set: {} == cells drawn: {claimed} — disjointness verified",
+        grid.popcount(&stm)
+    );
+    assert_eq!(grid.popcount(&stm), claimed);
+}
+
+/// Private BFS over an occupancy snapshot (same as the stamp crate's).
+fn bfs(width: u64, height: u64, occupied: &[bool], src: u64, dst: u64) -> Option<Vec<u64>> {
+    let cells = (width * height) as usize;
+    let mut parent = vec![usize::MAX; cells];
+    let mut queue = std::collections::VecDeque::new();
+    parent[src as usize] = src as usize;
+    queue.push_back(src as usize);
+    while let Some(c) = queue.pop_front() {
+        if c as u64 == dst {
+            let mut path = vec![dst];
+            let mut cur = c;
+            while parent[cur] != cur {
+                cur = parent[cur];
+                path.push(cur as u64);
+            }
+            path.reverse();
+            return Some(path);
+        }
+        let x = c as u64 % width;
+        let y = c as u64 / width;
+        let mut push = |n: u64| {
+            let ni = n as usize;
+            if parent[ni] == usize::MAX && !occupied[ni] {
+                parent[ni] = c;
+                queue.push_back(ni);
+            }
+        };
+        if x > 0 {
+            push(c as u64 - 1);
+        }
+        if x + 1 < width {
+            push(c as u64 + 1);
+        }
+        if y > 0 {
+            push(c as u64 - width);
+        }
+        if y + 1 < height {
+            push(c as u64 + width);
+        }
+    }
+    None
+}

@@ -1,0 +1,65 @@
+//! The paper's red-black-tree micro-benchmark on *this* machine.
+//!
+//! Runs the Figure-7 workload (mixed lookups/inserts/removes, one
+//! operation per transaction, 10 no-ops between transactions) with the
+//! real implementations on host threads and prints a throughput table.
+//! On a big multicore you will see the paper's shape directly; on a small
+//! host the numbers mostly demonstrate correctness under oversubscription
+//! (the tree's red-black invariants are re-verified after every cell).
+//!
+//! ```sh
+//! cargo run --release --example rbtree_throughput [tree_size] [ms_per_point]
+//! ```
+
+use rinval_repro::prelude::*;
+use std::time::Duration;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let size: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(16 * 1024);
+    let ms: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(250);
+
+    let algorithms = [
+        AlgorithmKind::NOrec,
+        AlgorithmKind::InvalStm,
+        AlgorithmKind::RInvalV1,
+        AlgorithmKind::RInvalV2 { invalidators: 2 },
+    ];
+    let host_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let sweep: Vec<usize> = [1usize, 2, 4, 8, 16]
+        .into_iter()
+        .filter(|&t| t <= host_threads.max(4))
+        .collect();
+
+    println!(
+        "red-black tree, {size} elements, 50% reads, {ms} ms/point, host has {host_threads} core(s)"
+    );
+    print!("{:>8}", "threads");
+    for a in algorithms {
+        print!("{:>12}", a.name());
+    }
+    println!("   [Ktx/s]");
+
+    for &t in &sweep {
+        print!("{t:>8}");
+        for algo in algorithms {
+            let cfg = stamp::rbtree_bench::Config {
+                initial_size: size,
+                read_pct: 50,
+                delay_noops: 10,
+                duration: Duration::from_millis(ms),
+                seed: 99,
+            };
+            let stm = Stm::builder(algo).heap_words(cfg.heap_words()).build();
+            let tree = stamp::rbtree_bench::setup(&stm, &cfg);
+            let report = stamp::rbtree_bench::run_on(&stm, tree, t, &cfg);
+            tree.check_invariants(&stm)
+                .unwrap_or_else(|e| panic!("{} corrupted the tree: {e}", algo.name()));
+            print!("{:>12.1}", report.throughput() / 1000.0);
+        }
+        println!();
+    }
+    println!("(every cell passed the full red-black invariant check)");
+}

@@ -1,0 +1,135 @@
+//! Calibration anchors: the simulator's workload presets claim to encode
+//! the *measured* transactional profile of the real applications. These
+//! tests run the real implementations with counters on and check the
+//! presets' read/write-set sizes and read-only fractions against reality
+//! (within generous factors — the presets describe the paper-scale
+//! configurations, the tests run reduced ones).
+
+use rinval::{AlgorithmKind, Stm};
+
+struct Profile {
+    reads_per_commit: f64,
+    writes_per_commit: f64,
+}
+
+fn measure(app: stamp::App) -> Profile {
+    let stm = Stm::builder(AlgorithmKind::NOrec)
+        .heap_words(app.default_heap_words())
+        .build();
+    let (report, verdict) = app.run_small(&stm, 2);
+    verdict.unwrap_or_else(|e| panic!("{}: {e}", app.name()));
+    let c = report.stats.commits.max(1) as f64;
+    Profile {
+        reads_per_commit: report.stats.reads as f64 / c,
+        writes_per_commit: report.stats.writes as f64 / c,
+    }
+}
+
+/// ssca2's simulated transactions are tiny; the real ones must be too.
+#[test]
+fn ssca2_profile_is_tiny() {
+    let p = measure(stamp::App::Ssca2);
+    assert!(
+        p.reads_per_commit < 25.0,
+        "ssca2 reads/commit {} is not 'tiny'",
+        p.reads_per_commit
+    );
+    assert!(p.writes_per_commit < 12.0);
+}
+
+/// kmeans: short accumulator write transactions (reads ≈ writes).
+#[test]
+fn kmeans_profile_is_short_and_write_heavy() {
+    let p = measure(stamp::App::Kmeans);
+    assert!(p.reads_per_commit < 20.0, "reads {}", p.reads_per_commit);
+    assert!(
+        p.writes_per_commit > 0.5 * p.reads_per_commit,
+        "kmeans writes {} should be comparable to reads {}",
+        p.writes_per_commit,
+        p.reads_per_commit
+    );
+}
+
+/// vacation: read-dominated (the preset claims reads ≫ 10× writes).
+#[test]
+fn vacation_profile_is_read_dominated() {
+    let p = measure(stamp::App::Vacation);
+    assert!(
+        p.reads_per_commit > 5.0 * p.writes_per_commit,
+        "vacation reads {} vs writes {}",
+        p.reads_per_commit,
+        p.writes_per_commit
+    );
+    assert!(
+        p.reads_per_commit > 20.0,
+        "vacation should have large read sets, got {}",
+        p.reads_per_commit
+    );
+}
+
+/// genome: read-dominated dedup.
+#[test]
+fn genome_profile_is_read_dominated() {
+    let p = measure(stamp::App::Genome);
+    assert!(
+        p.reads_per_commit > 2.0 * p.writes_per_commit,
+        "genome reads {} vs writes {}",
+        p.reads_per_commit,
+        p.writes_per_commit
+    );
+}
+
+/// labyrinth/bayes: transactional work is a sliver of total time. Run
+/// with profiling and check "other" dominates even at this small scale.
+#[test]
+fn labyrinth_and_bayes_are_nontx_dominated() {
+    for app in [stamp::App::Labyrinth, stamp::App::Bayes] {
+        let stm = Stm::builder(AlgorithmKind::NOrec)
+            .heap_words(app.default_heap_words())
+            .profile(true)
+            .build();
+        let (report, verdict) = app.run_small(&stm, 2);
+        verdict.unwrap_or_else(|e| panic!("{}: {e}", app.name()));
+        let busy = report.wall * 2;
+        let (v, c, o) = report.stats.breakdown(busy);
+        assert!(
+            o > v + c,
+            "{}: other {o:.2} should dominate validation {v:.2} + commit {c:.2}",
+            app.name()
+        );
+    }
+}
+
+/// The red-black-tree workload's read-set should be ~2·log2(n): the basis
+/// for the rbtree preset's `reads: 34` at 64K elements.
+#[test]
+fn rbtree_read_set_scales_logarithmically() {
+    let mut per_size = Vec::new();
+    for size in [256u64, 4096] {
+        let cfg = stamp::rbtree_bench::Config {
+            initial_size: size,
+            read_pct: 100, // lookups only: clean read-set measurement
+            delay_noops: 0,
+            duration: std::time::Duration::from_millis(80),
+            seed: 5,
+        };
+        let stm = Stm::builder(AlgorithmKind::NOrec)
+            .heap_words(cfg.heap_words())
+            .build();
+        let tree = stamp::rbtree_bench::setup(&stm, &cfg);
+        let report = stamp::rbtree_bench::run_on(&stm, tree, 1, &cfg);
+        let rpc = report.stats.reads as f64 / report.stats.commits.max(1) as f64;
+        per_size.push((size, rpc));
+    }
+    let (s0, r0) = per_size[0];
+    let (s1, r1) = per_size[1];
+    assert!(
+        r1 > r0,
+        "bigger tree must mean longer paths ({s0}:{r0:.1} vs {s1}:{r1:.1})"
+    );
+    // 16x size = +4 levels; reads grow far less than 2x.
+    assert!(
+        r1 < r0 * 2.0,
+        "read-set growth should be logarithmic ({r0:.1} -> {r1:.1})"
+    );
+}

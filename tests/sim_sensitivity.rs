@@ -1,0 +1,157 @@
+//! Sensitivity analysis: the reproduction's headline orderings must not
+//! hinge on any single cost constant. Each test perturbs one constant of
+//! the cache model substantially (±50% or more) and re-checks the
+//! qualitative result. If a claim only held at the default constants it
+//! would be curve-fitting, not reproduction.
+
+use simcore::{simulate, CostModel, SimAlgorithm, SimConfig, Workload};
+
+const V2: SimAlgorithm = SimAlgorithm::RInvalV2 { invalidators: 4 };
+
+fn throughput_with(costs: CostModel, algo: SimAlgorithm, threads: usize, w: &Workload) -> f64 {
+    let mut cfg = SimConfig::new(algo, threads, w.clone());
+    cfg.duration_cycles = 6_000_000;
+    cfg.costs = costs.clone();
+    simulate(&cfg).commits as f64
+}
+
+/// At 48 threads on the rbtree workload, V2 must beat InvalSTM under every
+/// perturbation of the coherence-miss cost.
+#[test]
+fn v2_beats_invalstm_across_miss_costs() {
+    let w = simcore::presets::rbtree(50);
+    for miss in [32u64, 64, 128] {
+        let costs = CostModel {
+            miss,
+            ..CostModel::default()
+        };
+        let v2 = throughput_with(costs.clone(), V2, 48, &w);
+        let inval = throughput_with(costs, SimAlgorithm::InvalStm, 48, &w);
+        assert!(
+            v2 > 2.0 * inval,
+            "miss={miss}: v2 {v2} vs invalstm {inval}"
+        );
+    }
+}
+
+/// Same ordering across spin-penalty settings — including a *zero* spin
+/// penalty, where InvalSTM's loss must still follow from its serialized
+/// in-lock invalidation alone.
+#[test]
+fn v2_beats_invalstm_across_spin_penalties() {
+    let w = simcore::presets::rbtree(50);
+    for penalty in [0.0, 0.06, 0.12, 0.25] {
+        let costs = CostModel {
+            spin_penalty: penalty,
+            ..CostModel::default()
+        };
+        let v2 = throughput_with(costs.clone(), V2, 48, &w);
+        let inval = throughput_with(costs, SimAlgorithm::InvalStm, 48, &w);
+        assert!(
+            v2 > inval,
+            "spin_penalty={penalty}: v2 {v2} vs invalstm {inval}"
+        );
+    }
+}
+
+/// NOrec's low-thread advantage survives halving/doubling the slot-scan
+/// cost (which only burdens the invalidation side).
+#[test]
+fn norec_low_thread_advantage_across_scan_costs() {
+    let w = simcore::presets::rbtree(50);
+    for scan in [30u64, 60, 120] {
+        let costs = CostModel {
+            slot_scan: scan,
+            ..CostModel::default()
+        };
+        let norec = throughput_with(costs.clone(), SimAlgorithm::NOrec, 4, &w);
+        let inval = throughput_with(costs, SimAlgorithm::InvalStm, 4, &w);
+        assert!(
+            norec > 0.9 * inval,
+            "slot_scan={scan}: norec {norec} vs invalstm {inval}"
+        );
+    }
+}
+
+/// Labyrinth's algorithm-insensitivity holds regardless of CAS cost: its
+/// non-transactional dominance, not any synchronization constant, is the
+/// mechanism.
+#[test]
+fn labyrinth_flatness_across_cas_costs() {
+    let w = simcore::presets::labyrinth();
+    for cas in [16u64, 48, 150] {
+        let costs = CostModel {
+            cas,
+            ..CostModel::default()
+        };
+        let times: Vec<f64> = [SimAlgorithm::NOrec, SimAlgorithm::InvalStm, V2]
+            .iter()
+            .map(|&a| {
+                let mut cfg = SimConfig::new(a, 24, w.clone());
+                cfg.max_commits = 6_000;
+                cfg.duration_cycles = u64::MAX / 4;
+                cfg.costs = costs.clone();
+                simulate(&cfg).wall_cycles as f64
+            })
+            .collect();
+        let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = times.iter().cloned().fold(0.0, f64::max);
+        assert!(max / min < 1.15, "cas={cas}: spread {:.2}", max / min);
+    }
+}
+
+/// The genome/vacation result (NOrec ≥ RInval) is driven by the bloom
+/// false-positive burden, and must invert when signatures are made
+/// perfect — evidence the mechanism matches the paper's abort-dominance
+/// explanation rather than an arbitrary slowdown of RInval.
+#[test]
+fn read_intensive_result_is_fp_driven() {
+    let mut w = simcore::presets::vacation();
+    let exec = |w: &Workload, algo| {
+        let mut cfg = SimConfig::new(algo, 32, w.clone());
+        cfg.max_commits = 12_000;
+        cfg.duration_cycles = u64::MAX / 4;
+        simulate(&cfg).wall_cycles as f64
+    };
+    // With the paper-scale false positives, NOrec wins.
+    let norec = exec(&w, SimAlgorithm::NOrec);
+    let v2 = exec(&w, V2);
+    assert!(norec <= v2 * 1.05, "fp case: norec {norec} vs v2 {v2}");
+    // With perfect signatures, the invalidation family catches up to (or
+    // passes) NOrec.
+    w.bloom_fp_prob = 0.0;
+    let norec0 = exec(&w, SimAlgorithm::NOrec);
+    let v20 = exec(&w, V2);
+    assert!(
+        v20 < norec0 * 1.1,
+        "perfect-signature case: v2 {v20} should close on norec {norec0}"
+    );
+}
+
+/// Determinism across perturbations: the same seed and config always
+/// produce identical commit counts (no hidden nondeterminism in the
+/// engine's event ordering).
+#[test]
+fn engine_is_deterministic_under_all_configs() {
+    for algo in [
+        SimAlgorithm::NOrec,
+        SimAlgorithm::InvalStm,
+        SimAlgorithm::RInvalV1,
+        V2,
+        SimAlgorithm::RInvalV3 {
+            invalidators: 3,
+            steps_ahead: 2,
+        },
+    ] {
+        for threads in [1usize, 7, 33] {
+            let mk = || {
+                let mut cfg = SimConfig::new(algo, threads, simcore::presets::intruder());
+                cfg.duration_cycles = 1_500_000;
+                cfg.seed = 42;
+                let r = simulate(&cfg);
+                (r.commits, r.aborts, r.validation_cycles, r.commit_cycles)
+            };
+            assert_eq!(mk(), mk(), "{algo:?} t={threads}");
+        }
+    }
+}
