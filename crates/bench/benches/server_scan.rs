@@ -1,0 +1,163 @@
+//! server_scan — microbench pinning the per-pass scan work of the RInval
+//! commit/invalidation servers after the summary-bitmap rework.
+//!
+//! For each registry size in {8, 32, 128} it runs a fixed commit workload
+//! with at most 4 live client threads and reports, from
+//! [`rinval::Stm::server_stats`]:
+//!
+//! * slots actually visited per commit-server pass (bitmap scan) vs. the
+//!   slots a full-registry walk would have examined — the pre-rework cost
+//!   of *every* pass, reported as the `reduction` factor;
+//! * the same for invalidation/census scans over the `live` map;
+//! * V1 batch statistics under commit pressure (8 writers on one server:
+//!   requests per timestamp bump).
+//!
+//! The repository's acceptance bar (EXPERIMENTS.md §server_scan): at a
+//! 128-slot registry with ≤ 4 live transactions the scan-work reduction
+//! must be ≥ 2×. The bench exits non-zero if that bar is missed, so the
+//! CI smoke step (`cargo bench --bench server_scan -- --test`) enforces
+//! it on every run; `--test` only shrinks the operation count.
+
+use rinval::{AlgorithmKind, ServerStats, Stm};
+
+const REGISTRY_SIZES: [usize; 3] = [8, 32, 128];
+const LIVE_THREADS: usize = 4;
+
+struct Measurement {
+    registry: usize,
+    algo: &'static str,
+    commits: u64,
+    stats: ServerStats,
+}
+
+impl Measurement {
+    fn commit_scan_reduction(&self) -> f64 {
+        let full = self.stats.full_scan_equivalent(self.registry) as f64;
+        let visited = self.stats.slots_visited.max(1) as f64;
+        full / visited
+    }
+
+    fn inval_scan_reduction(&self) -> f64 {
+        let full = self.stats.full_inval_equivalent(self.registry) as f64;
+        let visited = self.stats.inval_slots_visited.max(1) as f64;
+        full / visited
+    }
+}
+
+/// Runs `threads` clients, each performing `ops` read-modify-write
+/// commits on a private word plus periodic commits on one shared word
+/// (so invalidation scans have live readers to inspect).
+fn run_workload(algo: AlgorithmKind, registry: usize, threads: usize, ops: u64) -> Measurement {
+    let stm = Stm::builder(algo)
+        .heap_words(1 << 12)
+        .max_threads(registry)
+        .build();
+    let shared = stm.alloc_init(&[0]);
+    let arr = stm.alloc(threads);
+    let stm_ref = &stm;
+
+    std::thread::scope(|s| {
+        for c in 0..threads {
+            s.spawn(move || {
+                let mut th = stm_ref.register_thread();
+                let mine = arr.field(c as u32);
+                for k in 0..ops {
+                    th.run(|tx| {
+                        let v = tx.read(mine)?;
+                        tx.write(mine, v + 1)
+                    });
+                    if k % 16 == 0 {
+                        th.run(|tx| {
+                            let v = tx.read(shared)?;
+                            tx.write(shared, v + 1)
+                        });
+                    }
+                }
+            });
+        }
+    });
+
+    for c in 0..threads {
+        assert_eq!(stm.peek(arr.field(c as u32)), ops, "lost commits");
+    }
+    Measurement {
+        registry,
+        algo: algo.name(),
+        commits: threads as u64 * (ops + ops.div_ceil(16)),
+        stats: stm.server_stats(),
+    }
+}
+
+fn report(m: &Measurement) {
+    println!(
+        "{:>9}  {:>8}  {:>8}  {:>10}  {:>12}  {:>10.1}  {:>12}  {:>10.1}  {:>6.2}",
+        m.algo,
+        m.registry,
+        m.commits,
+        m.stats.scan_passes,
+        m.stats.slots_visited,
+        m.commit_scan_reduction(),
+        m.stats.inval_slots_visited,
+        m.inval_scan_reduction(),
+        m.stats.mean_batch_size(),
+    );
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--test");
+    let ops: u64 = if smoke { 200 } else { 5_000 };
+
+    println!(
+        "server_scan: per-pass scan work with summary bitmaps \
+         ({LIVE_THREADS} live client threads, {ops} private commits each)"
+    );
+    println!(
+        "{:>9}  {:>8}  {:>8}  {:>10}  {:>12}  {:>10}  {:>12}  {:>10}  {:>6}",
+        "algo",
+        "registry",
+        "commits",
+        "passes",
+        "visited",
+        "reduction",
+        "inval-visit",
+        "inval-red",
+        "batch"
+    );
+
+    let mut gate = true;
+    for algo in [
+        AlgorithmKind::RInvalV1,
+        AlgorithmKind::RInvalV2 { invalidators: 2 },
+    ] {
+        for registry in REGISTRY_SIZES {
+            let m = run_workload(algo, registry, LIVE_THREADS.min(registry / 2), ops);
+            report(&m);
+            if registry == 128 && m.commit_scan_reduction() < 2.0 {
+                eprintln!(
+                    "FAIL: {} at {}-slot registry: commit-scan reduction {:.1} < 2.0",
+                    m.algo,
+                    registry,
+                    m.commit_scan_reduction()
+                );
+                gate = false;
+            }
+        }
+    }
+
+    // Batch amortization under commit pressure: 8 writers with disjoint
+    // write-sets against one V1 server — requests per timestamp bump.
+    let m = run_workload(AlgorithmKind::RInvalV1, 16, 8, ops);
+    println!(
+        "v1 batch pressure (8 writers): {} requests in {} batches \
+         (mean batch {:.2}, {} timestamp bumps saved)",
+        m.stats.batched_requests,
+        m.stats.batches,
+        m.stats.mean_batch_size(),
+        m.stats.batched_requests - m.stats.batches,
+    );
+
+    if !gate {
+        std::process::exit(1);
+    }
+    println!("ok: >=2x scan-work reduction at 128-slot registry");
+}

@@ -19,13 +19,17 @@
 
 use crate::heap::Handle;
 use crate::registry::{TX_ALIVE, TX_INVALIDATED};
+use crate::stats::ServerCounters;
 use crate::sync::Backoff;
 use crate::txn::Txn;
 use crate::{Aborted, AlgorithmKind, TxResult};
 use std::sync::atomic::{fence, Ordering};
 
 pub(crate) fn begin(tx: &mut Txn<'_>) {
-    tx.stm.registry.slot(tx.slot_idx).begin();
+    // Registry-level begin: publishes the slot in the `live` summary map
+    // before its status flips to ALIVE, so committer scans (which walk
+    // only set live bits) can never miss this transaction.
+    tx.stm.registry.begin(tx.slot_idx);
 }
 
 pub(crate) fn read(tx: &mut Txn<'_>, h: Handle) -> TxResult<u64> {
@@ -110,35 +114,39 @@ pub(crate) fn commit(tx: &mut Txn<'_>) -> TxResult<()> {
         ts.store(t + 2, Ordering::SeqCst);
         return Err(Aborted);
     }
-    // §V future-work policy: if this commit would doom more live readers
-    // than the budget allows, abort ourselves instead (reader bias).
+    // Algorithm 1, lines 15–19 fused into a single walk of the `live`
+    // summary map: collect the conflicting in-flight transactions, then —
+    // only if the reader-bias budget (§V future-work policy) permits —
+    // invalidate them (committer always wins under the default policy;
+    // paper §IV-D). The census and the invalidation used to be two full
+    // registry walks; one bitmap scan now serves both.
+    let st = &tx.stm.server_stats;
+    ServerCounters::add(&st.inval_scans, 1);
     let budget = tx.stm.cm_policy.max_doomed();
-    if budget != u32::MAX {
-        let mut doomed = 0u32;
-        for (i, other) in tx.stm.registry.iter() {
-            if i != tx.slot_idx && other.is_live() && other.read_bf.intersects_plain(tx.wbf) {
-                doomed += 1;
-            }
-        }
-        if doomed > budget {
-            ts.store(t + 2, Ordering::SeqCst);
-            return Err(Aborted);
-        }
-    }
-    // Algorithm 1, lines 17–19: invalidate every conflicting in-flight
-    // transaction (committer always wins; paper §IV-D).
-    for (i, other) in tx.stm.registry.iter() {
+    let mut visited = 0u64;
+    let mut doomed: Vec<usize> = Vec::new();
+    for i in tx.stm.registry.live().iter_set_bits() {
         if i == tx.slot_idx {
             continue;
         }
+        visited += 1;
+        let other = tx.stm.registry.slot(i);
         if other.is_live() && other.read_bf.intersects_plain(tx.wbf) {
-            let _ = other.tx_status.compare_exchange(
-                TX_ALIVE,
-                TX_INVALIDATED,
-                Ordering::SeqCst,
-                Ordering::SeqCst,
-            );
+            doomed.push(i);
         }
+    }
+    ServerCounters::add(&st.inval_slots_visited, visited);
+    if doomed.len() as u64 > budget as u64 {
+        ts.store(t + 2, Ordering::SeqCst);
+        return Err(Aborted);
+    }
+    for &i in &doomed {
+        let _ = tx.stm.registry.slot(i).tx_status.compare_exchange(
+            TX_ALIVE,
+            TX_INVALIDATED,
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        );
     }
     // Algorithm 1, line 20: publish the write-set.
     for e in tx.ws.entries() {

@@ -57,14 +57,15 @@ pub(crate) fn commit(tx: &mut Txn<'_>) -> TxResult<()> {
     r
 }
 
-/// Post-commit bookkeeping (deregister from the in-flight registry).
+/// Post-commit bookkeeping (deregister from the in-flight registry and
+/// withdraw the slot from the `live` summary map).
 pub(crate) fn cleanup_commit(tx: &mut Txn<'_>) {
     match tx.stm.algo {
         AlgorithmKind::CoarseLock
         | AlgorithmKind::Tml
         | AlgorithmKind::NOrec
         | AlgorithmKind::Tl2 => {}
-        _ => tx.stm.registry.slot(tx.slot_idx).end(),
+        _ => tx.stm.registry.end(tx.slot_idx),
     }
 }
 
@@ -76,6 +77,6 @@ pub(crate) fn cleanup_abort(tx: &mut Txn<'_>) {
         AlgorithmKind::Tml => tml::abort(tx),
         // TL2's commit releases its own locks on every failure path.
         AlgorithmKind::NOrec | AlgorithmKind::Tl2 => {}
-        _ => tx.stm.registry.slot(tx.slot_idx).end(),
+        _ => tx.stm.registry.end(tx.slot_idx),
     }
 }

@@ -47,6 +47,11 @@ pub(crate) fn client_commit(tx: &mut Txn<'_>) -> TxResult<()> {
     // transaction's `Txn::init` stores into fresh records) happens-before
     // the server's acquire load of PENDING.
     slot.request_state.store(REQ_PENDING, Ordering::SeqCst);
+    // Summary-map publish, strictly *after* the PENDING store: a server
+    // that observes the set bit is guaranteed (SeqCst total order) to also
+    // observe REQ_PENDING, so it may clear the bit at pickup without ever
+    // losing a request. The server clears the bit; we never do.
+    tx.stm.registry.pending().set(tx.slot_idx);
 
     // Algorithm 2, line 8: spin on our own cache line.
     let mut bk = Backoff::new();

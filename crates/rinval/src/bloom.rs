@@ -100,6 +100,15 @@ impl Bloom {
             .any(|(&a, &b)| a & b != 0)
     }
 
+    /// Merges every bit of `other` into `self` (set union) — used by the
+    /// V1 commit-server to build a batch's combined write signature.
+    #[inline]
+    pub fn union_with(&mut self, other: &Bloom) {
+        for (d, &s) in self.words.iter_mut().zip(other.words.iter()) {
+            *d |= s;
+        }
+    }
+
     /// Raw words, used when publishing into an [`AtomicBloom`].
     pub fn words(&self) -> &[u64; BLOOM_WORDS] {
         &self.words
@@ -169,6 +178,15 @@ impl AtomicBloom {
     pub fn load_into(&self, dst: &mut Bloom) {
         for (d, s) in dst.words.iter_mut().zip(self.words.iter()) {
             *d = s.load(Ordering::Relaxed);
+        }
+    }
+
+    /// ORs the current contents into a private filter (one pass; used to
+    /// accumulate a commit batch's combined *read* signature without an
+    /// intermediate snapshot).
+    pub fn or_into(&self, dst: &mut Bloom) {
+        for (d, s) in dst.words.iter_mut().zip(self.words.iter()) {
+            *d |= s.load(Ordering::Relaxed);
         }
     }
 
@@ -301,6 +319,21 @@ mod tests {
         disjoint.owner_insert(777_777);
         // Might be a false positive in principle, but not for this pair.
         assert!(!disjoint.intersects_plain(&w));
+    }
+
+    #[test]
+    fn union_with_accumulates_and_or_into_merges() {
+        let mut a = Bloom::new();
+        let mut b = Bloom::new();
+        a.insert(1);
+        b.insert(2);
+        a.union_with(&b);
+        assert!(a.may_contain(1) && a.may_contain(2));
+
+        let ab = AtomicBloom::new();
+        ab.owner_insert(3);
+        ab.or_into(&mut a);
+        assert!(a.may_contain(1) && a.may_contain(2) && a.may_contain(3));
     }
 
     #[test]

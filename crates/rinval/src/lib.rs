@@ -66,7 +66,7 @@ mod txn;
 
 pub use heap::{Handle, Heap};
 pub use policy::CmPolicy;
-pub use stats::PhaseStats;
+pub use stats::{PhaseStats, ServerStats};
 pub use tvar::{TVar, Word};
 pub use txn::{ThreadHandle, Txn};
 
@@ -218,6 +218,8 @@ pub(crate) struct StmInner {
     pub(crate) shutdown: AtomicBool,
     pub(crate) profile: bool,
     pub(crate) cm_policy: policy::CmPolicy,
+    /// Scan/batch counters maintained by servers and InvalSTM committers.
+    pub(crate) server_stats: stats::ServerCounters,
     /// TL2's ownership-record table (present only under `Tl2`).
     pub(crate) orecs: Option<algo::tl2::OrecTable>,
 }
@@ -300,6 +302,7 @@ impl StmBuilder {
             shutdown: AtomicBool::new(false),
             profile: self.profile,
             cm_policy: self.cm_policy,
+            server_stats: stats::ServerCounters::default(),
             orecs: if self.algo == AlgorithmKind::Tl2 {
                 Some(algo::tl2::OrecTable::new(self.tl2_stripes))
             } else {
@@ -431,6 +434,29 @@ impl Stm {
     /// Words allocated from the heap so far.
     pub fn heap_allocated(&self) -> usize {
         self.inner.heap.allocated()
+    }
+
+    /// Snapshot of the server-side scan/batch counters (slots visited per
+    /// pass, empty passes, V1 batch sizes). Under RInval these are
+    /// maintained by the server threads; under InvalSTM the committing
+    /// clients maintain the invalidation-scan counters.
+    pub fn server_stats(&self) -> ServerStats {
+        self.inner.server_stats.snapshot()
+    }
+
+    /// Number of registry slots (`max_threads` at construction) — the
+    /// denominator for comparing [`Stm::server_stats`] against a
+    /// full-registry walk.
+    pub fn registry_len(&self) -> usize {
+        self.inner.registry.len()
+    }
+
+    /// The in-flight transaction registry (slot states and the
+    /// pending/live summary maps), for diagnostics and invariant checks.
+    /// Mutating slot state through this reference is outside the
+    /// protocol's contract.
+    pub fn registry(&self) -> &registry::Registry {
+        &self.inner.registry
     }
 }
 

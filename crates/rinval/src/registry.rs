@@ -9,10 +9,30 @@
 //!
 //! Slot indices are claimed when a thread registers with the STM and
 //! recycled when its [`crate::ThreadHandle`] drops.
+//!
+//! ## Summary bitmaps
+//!
+//! Servers used to discover work by walking all `max_threads` slots on
+//! every pass. The registry now maintains two [`AtomicBitmap`] summary
+//! maps so scans touch only the slots that matter:
+//!
+//! * [`Registry::pending`] — bit `i` set ⇒ slot `i` has a published
+//!   `REQ_PENDING` commit request. Set by the client *after* its `SeqCst`
+//!   store of `REQ_PENDING` (so, in the `SeqCst` total order, an observed
+//!   set bit implies an observable `REQ_PENDING`); cleared by the server
+//!   when it picks the request up (before answering).
+//! * [`Registry::live`] — bit `i` set ⇒ slot `i` may hold a live
+//!   transaction. Set in [`Registry::begin`] *before* the slot's status
+//!   becomes `TX_ALIVE` and cleared in [`Registry::end`] *after* it
+//!   returns to `TX_IDLE`, so at every point of the `SeqCst` total order
+//!   `tx_status != TX_IDLE` implies the bit is set — an invalidation scan
+//!   over set bits can never miss a live reader. The bit may be set while
+//!   the slot is idle (begin/end windows); scanners still check
+//!   [`TxSlot::is_live`] per visited slot.
 
 use crate::bloom::AtomicBloom;
 use crate::logs::WriteEntry;
-use crate::sync::CachePadded;
+use crate::sync::{AtomicBitmap, CachePadded};
 use std::sync::atomic::{AtomicPtr, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -101,11 +121,14 @@ impl TxSlot {
     }
 }
 
-/// Fixed array of [`TxSlot`]s plus slot-index recycling.
+/// Fixed array of [`TxSlot`]s plus slot-index recycling and the summary
+/// bitmaps server scans run on (see the module docs).
 #[derive(Debug)]
 pub struct Registry {
     slots: Box<[CachePadded<TxSlot>]>,
     free: Mutex<Vec<usize>>,
+    pending: AtomicBitmap,
+    live: AtomicBitmap,
 }
 
 impl Registry {
@@ -118,6 +141,8 @@ impl Registry {
         Registry {
             slots: v.into_boxed_slice(),
             free: Mutex::new((0..max_threads).rev().collect()),
+            pending: AtomicBitmap::new(max_threads),
+            live: AtomicBitmap::new(max_threads),
         }
     }
 
@@ -137,11 +162,51 @@ impl Registry {
     }
 
     /// Returns a slot index when its owner deregisters.
+    ///
+    /// Resets *all* observable per-slot state, including the read
+    /// signature: a recycled slot must not inherit the previous owner's
+    /// read Bloom filter, or a committer's census/invalidation scan could
+    /// spuriously count (or doom) the new owner between `claim()` and its
+    /// first `begin()`.
     pub fn release(&self, idx: usize) {
         debug_assert!(idx < self.slots.len());
         self.slots[idx].tx_status.store(TX_IDLE, Ordering::SeqCst);
         self.slots[idx].request_state.store(REQ_IDLE, Ordering::SeqCst);
+        self.slots[idx].read_bf.owner_clear();
+        self.pending.clear(idx);
+        self.live.clear(idx);
         self.free.lock().unwrap().push(idx);
+    }
+
+    /// Owner-side transaction begin for `idx`: publishes the slot in the
+    /// `live` map *before* its status flips to `TX_ALIVE` (set-then-alive;
+    /// see the module docs for why the order matters).
+    #[inline]
+    pub fn begin(&self, idx: usize) {
+        self.live.set(idx);
+        self.slots[idx].begin();
+    }
+
+    /// Owner-side transaction end for `idx`: withdraws the slot from the
+    /// `live` map *after* its status returns to `TX_IDLE`.
+    #[inline]
+    pub fn end(&self, idx: usize) {
+        self.slots[idx].end();
+        self.live.clear(idx);
+    }
+
+    /// The pending-request summary map (bit per slot with a published
+    /// `REQ_PENDING` request).
+    #[inline]
+    pub fn pending(&self) -> &AtomicBitmap {
+        &self.pending
+    }
+
+    /// The live-transaction summary map (bit per slot that may hold a
+    /// live transaction).
+    #[inline]
+    pub fn live(&self) -> &AtomicBitmap {
+        &self.live
     }
 
     /// The slot at `idx`.
@@ -213,6 +278,50 @@ mod tests {
         reg.slot(idx).request_state.store(REQ_PENDING, Ordering::SeqCst);
         reg.release(idx);
         assert_eq!(reg.slot(idx).request_state.load(Ordering::SeqCst), REQ_IDLE);
+    }
+
+    #[test]
+    fn release_clears_read_signature_and_summary_bits() {
+        let reg = Registry::new(2);
+        let idx = reg.claim().unwrap();
+        reg.begin(idx);
+        reg.slot(idx).read_bf.owner_insert(42);
+        reg.pending().set(idx);
+        reg.release(idx);
+        assert!(
+            !reg.slot(idx).read_bf.may_contain(42),
+            "recycled slot inherited the previous owner's read signature"
+        );
+        assert!(!reg.pending().get(idx));
+        assert!(!reg.live().get(idx));
+    }
+
+    #[test]
+    fn begin_end_maintain_live_map() {
+        let reg = Registry::new(3);
+        assert!(!reg.live().any_set());
+        reg.begin(1);
+        assert!(reg.live().get(1));
+        assert_eq!(reg.live().iter_set_bits().collect::<Vec<_>>(), vec![1]);
+        assert!(reg.slot(1).is_live());
+        reg.end(1);
+        assert!(!reg.live().get(1));
+        assert!(!reg.slot(1).is_live());
+    }
+
+    #[test]
+    fn live_bit_covers_alive_status() {
+        // The safety-critical direction: whenever tx_status != IDLE the
+        // live bit must already be set (set-then-alive / idle-then-clear).
+        let reg = Registry::new(1);
+        reg.begin(0);
+        assert!(reg.slot(0).is_live() && reg.live().get(0));
+        reg.slot(0)
+            .tx_status
+            .store(TX_INVALIDATED, Ordering::SeqCst);
+        assert!(reg.live().get(0), "invalidated (still live) slot lost its bit");
+        reg.end(0);
+        assert!(!reg.slot(0).is_live());
     }
 
     #[test]

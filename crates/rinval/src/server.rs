@@ -3,7 +3,11 @@
 //! * [`commit_server_v1`] — Algorithm 2's `COMMIT-SERVER LOOP`: one thread
 //!   owns the global timestamp, performs invalidation *and* write-back for
 //!   every request, and is the only writer of shared metadata (so the
-//!   timestamp is bumped with plain stores, never CAS).
+//!   timestamp is bumped with plain stores, never CAS). On top of the
+//!   paper's per-request loop it *batches*: all currently-pending requests
+//!   whose signatures are pairwise independent commit under a single
+//!   timestamp bump, one merged invalidation scan and one odd/even phase
+//!   (see "Batched commits" below).
 //! * [`commit_server_v2`] — Algorithm 3/4: write-back only; invalidation is
 //!   delegated to [`invalidation_server`]s through a ring of commit write
 //!   signatures. With `steps_ahead = 0` this is exactly V2 (the server
@@ -16,10 +20,47 @@
 //!
 //! Servers spin with [`Backoff`] (bounded spin, then yield) instead of the
 //! paper's pinned-core busy loop so the protocol stays live on
-//! oversubscribed hosts; the logic is otherwise a line-by-line transcription.
+//! oversubscribed hosts; the logic is otherwise a transcription of
+//! Algorithms 2–4 with the two deviations documented here.
+//!
+//! ## Summary-bitmap scans
+//!
+//! The paper's loops walk the whole `max_threads` registry on every pass —
+//! three times per commit (request discovery, reader-bias census,
+//! invalidation). All three walks now iterate only the set bits of the
+//! registry's `pending` / `live` summary maps
+//! ([`crate::registry::Registry::pending`] /
+//! [`crate::registry::Registry::live`]), so per-pass work is proportional
+//! to the number of *active* slots, not the registry capacity. The
+//! publication orders (pending bit set after `REQ_PENDING`; live bit set
+//! before `TX_ALIVE`, cleared after `TX_IDLE`) guarantee that a bitmap
+//! scan observes every request/transaction the corresponding full walk
+//! would have — the `registry` module docs give the `SeqCst` total-order
+//! argument. Scan work is recorded in [`crate::stats::ServerCounters`].
+//!
+//! ## Batched commits (V1)
+//!
+//! Algorithm 2 serializes every commit through its own timestamp bump.
+//! Under commit pressure most of that cost is protocol overhead: the bump,
+//! the `SeqCst` fence and the invalidation scan are identical for requests
+//! that cannot possibly conflict. The V1 server therefore *drains* the
+//! pending map per pass, admitting a request into the current batch iff it
+//! is fully independent of every admitted member: its write signature
+//! intersects neither the batch's merged write signature (write-write) nor
+//! the batch's merged read signature (write-read), and its read signature
+//! does not intersect the batch's merged writes (read-write). Independent
+//! requests are answered under one bump with one merged-signature
+//! invalidation scan; dependent requests stay pending and serialize on a
+//! later pass (where the invalidation performed for the earlier batch
+//! aborts them if they had read what the batch wrote). Full independence —
+//! not just the pairwise-disjoint *write* sets — is required: two requests
+//! with disjoint writes but crossing read/write dependencies have no
+//! equivalent serial order and must not land in one batch.
 
 use crate::bloom::Bloom;
+use crate::logs::WriteEntry;
 use crate::registry::{REQ_ABORTED, REQ_COMMITTED, REQ_PENDING, TX_ALIVE, TX_INVALIDATED};
+use crate::stats::ServerCounters;
 use crate::sync::Backoff;
 use crate::StmInner;
 use std::sync::atomic::{fence, Ordering};
@@ -42,12 +83,30 @@ unsafe fn write_back(stm: &StmInner, ptr: *const crate::logs::WriteEntry, len: u
     }
 }
 
-/// Invalidates every live transaction (except `skip`) whose read signature
-/// intersects `wbf`. Shared by V1's inline invalidation and the
-/// invalidation-servers.
-fn invalidate_conflicting(stm: &StmInner, wbf: &Bloom, skip: usize, partition: Option<(usize, usize)>) {
-    for (i, slot) in stm.registry.iter() {
-        if i == skip {
+#[inline]
+fn mask_set(mask: &mut [u64], i: usize) {
+    mask[i / 64] |= 1u64 << (i % 64);
+}
+
+#[inline]
+fn mask_get(mask: &[u64], i: usize) -> bool {
+    mask[i / 64] & (1u64 << (i % 64)) != 0
+}
+
+/// Invalidates every live transaction (except those in `skip_mask`) whose
+/// read signature intersects `wbf`, walking only the `live` summary map.
+/// Shared by V1's inline invalidation and the invalidation-servers.
+fn invalidate_conflicting(
+    stm: &StmInner,
+    wbf: &Bloom,
+    skip_mask: &[u64],
+    partition: Option<(usize, usize)>,
+) {
+    let st = &stm.server_stats;
+    ServerCounters::add(&st.inval_scans, 1);
+    let mut visited = 0u64;
+    for i in stm.registry.live().iter_set_bits() {
+        if mask_get(skip_mask, i) {
             continue;
         }
         if let Some((k, nk)) = partition {
@@ -55,6 +114,8 @@ fn invalidate_conflicting(stm: &StmInner, wbf: &Bloom, skip: usize, partition: O
                 continue;
             }
         }
+        visited += 1;
+        let slot = stm.registry.slot(i);
         if slot.is_live() && slot.read_bf.intersects_plain(wbf) {
             // CAS (not store) so an already-idle slot is never marked: the
             // server must not leak an INVALIDATED flag into a slot that has
@@ -67,67 +128,128 @@ fn invalidate_conflicting(stm: &StmInner, wbf: &Bloom, skip: usize, partition: O
             );
         }
     }
+    ServerCounters::add(&st.inval_slots_visited, visited);
 }
 
 /// Counts live transactions (other than `skip`) whose read signature
-/// intersects `wbf` — the reader-bias policy's doom census.
+/// intersects `wbf` — the reader-bias policy's doom census. Walks only the
+/// `live` summary map.
 fn count_conflicting(stm: &StmInner, wbf: &Bloom, skip: usize) -> u32 {
+    let st = &stm.server_stats;
+    ServerCounters::add(&st.inval_scans, 1);
+    let mut visited = 0u64;
     let mut n = 0;
-    for (i, slot) in stm.registry.iter() {
-        if i != skip && slot.is_live() && slot.read_bf.intersects_plain(wbf) {
+    for i in stm.registry.live().iter_set_bits() {
+        if i == skip {
+            continue;
+        }
+        visited += 1;
+        let slot = stm.registry.slot(i);
+        if slot.is_live() && slot.read_bf.intersects_plain(wbf) {
             n += 1;
         }
     }
+    ServerCounters::add(&st.inval_slots_visited, visited);
     n
 }
 
-/// RInval-V1 commit-server (paper Algorithm 2, lines 10–25).
+/// RInval-V1 commit-server (paper Algorithm 2, lines 10–25, plus commit
+/// batching — see the module docs).
 pub(crate) fn commit_server_v1(stm: &StmInner) {
+    let st = &stm.server_stats;
     let mut wbf = Bloom::new();
+    let mut batch_wbf = Bloom::new();
+    let mut batch_rbf = Bloom::new();
+    let mut batch: Vec<(usize, *const WriteEntry, usize)> = Vec::new();
+    let mut batch_mask: Vec<u64> = vec![0; stm.registry.len().div_ceil(64)];
     let mut idle = Backoff::new();
     while !stm.shutdown.load(Ordering::SeqCst) {
-        let mut found = false;
-        for (i, slot) in stm.registry.iter() {
-            // Line 14: look for a pending request. SeqCst load doubles as
-            // the acquire of the request payload.
+        ServerCounters::add(&st.scan_passes, 1);
+        let mut answered = false;
+        batch.clear();
+        batch_wbf.clear();
+        batch_rbf.clear();
+        batch_mask.iter_mut().for_each(|w| *w = 0);
+        for i in stm.registry.pending().iter_set_bits() {
+            ServerCounters::add(&st.slots_visited, 1);
+            let slot = stm.registry.slot(i);
+            // Line 14: a set pending bit was published after the client's
+            // SeqCst store of REQ_PENDING, so this load doubles as the
+            // acquire of the request payload.
             if slot.request_state.load(Ordering::SeqCst) != REQ_PENDING {
                 continue;
             }
-            found = true;
             // Line 15: the client may have been invalidated by a commit we
             // processed after it went PENDING; checking *before* bumping the
             // timestamp saves a useless version bump (paper §IV-A).
             if slot.tx_status.load(Ordering::SeqCst) == TX_INVALIDATED {
+                stm.registry.pending().clear(i);
                 slot.request_state.store(REQ_ABORTED, Ordering::SeqCst);
+                answered = true;
                 continue;
             }
             slot.req_write_bf.load_into(&mut wbf);
             // Reader-bias policy (§V future work): yield to the readers if
-            // this commit would doom too many of them.
+            // this commit would doom too many of them. Checked per request
+            // at admission, so batching preserves the per-commit budget.
             let budget = stm.cm_policy.max_doomed();
             if budget != u32::MAX && count_conflicting(stm, &wbf, i) > budget {
+                stm.registry.pending().clear(i);
                 slot.request_state.store(REQ_ABORTED, Ordering::SeqCst);
+                answered = true;
                 continue;
             }
-            let ptr = slot.req_ws_ptr.load(Ordering::Relaxed);
-            let len = slot.req_ws_len.load(Ordering::Relaxed);
-            // Line 18: enter the odd (commit-in-flight) phase. Plain store:
-            // this thread is the timestamp's only writer.
+            // Batch admission: fully independent of every member, or stay
+            // pending and serialize behind this batch on a later pass.
+            if !batch.is_empty()
+                && (wbf.intersects(&batch_wbf)
+                    || batch_rbf.intersects(&wbf)
+                    || slot.read_bf.intersects_plain(&batch_wbf))
+            {
+                continue;
+            }
+            stm.registry.pending().clear(i);
+            batch_wbf.union_with(&wbf);
+            slot.read_bf.or_into(&mut batch_rbf);
+            mask_set(&mut batch_mask, i);
+            batch.push((
+                i,
+                slot.req_ws_ptr.load(Ordering::Relaxed),
+                slot.req_ws_len.load(Ordering::Relaxed),
+            ));
+        }
+        if !batch.is_empty() {
+            // Line 18: enter the odd (commit-in-flight) phase — once for
+            // the whole batch. Plain store: this thread is the timestamp's
+            // only writer.
             let t = stm.timestamp.load(Ordering::Relaxed);
             stm.timestamp.store(t + 1, Ordering::SeqCst);
             fence(Ordering::SeqCst);
-            // Lines 19–21: invalidate conflicting in-flight transactions.
-            invalidate_conflicting(stm, &wbf, i, None);
-            // Line 22: publish the write-set.
-            unsafe { write_back(stm, ptr, len) };
+            // Lines 19–21: one merged invalidation scan for the batch
+            // (members skip each other; their own reads always intersect
+            // their own writes).
+            invalidate_conflicting(stm, &batch_wbf, &batch_mask, None);
+            // Line 22: publish every member's write-set.
+            for &(_, ptr, len) in &batch {
+                unsafe { write_back(stm, ptr, len) };
+            }
             // Line 23: leave the odd phase.
             stm.timestamp.store(t + 2, Ordering::SeqCst);
-            // Line 24: answer the client.
-            slot.request_state.store(REQ_COMMITTED, Ordering::SeqCst);
+            // Line 24: answer every member.
+            for &(i, _, _) in &batch {
+                stm.registry
+                    .slot(i)
+                    .request_state
+                    .store(REQ_COMMITTED, Ordering::SeqCst);
+            }
+            ServerCounters::add(&st.batches, 1);
+            ServerCounters::add(&st.batched_requests, batch.len() as u64);
+            answered = true;
         }
-        if found {
+        if answered {
             idle.reset();
         } else {
+            ServerCounters::add(&st.empty_passes, 1);
             idle.snooze();
         }
     }
@@ -135,23 +257,30 @@ pub(crate) fn commit_server_v1(stm: &StmInner) {
 
 /// RInval-V2/V3 commit-server (paper Algorithms 3 and 4).
 pub(crate) fn commit_server_v2(stm: &StmInner) {
+    let st = &stm.server_stats;
     let mut wbf = Bloom::new();
     let mut idle = Backoff::new();
     let ring = stm.commit_ring.len() as u64;
     let nk = stm.inval_ts.len();
     'scan: while !stm.shutdown.load(Ordering::SeqCst) {
-        let mut found = false;
-        for (i, slot) in stm.registry.iter() {
+        ServerCounters::add(&st.scan_passes, 1);
+        let mut answered = false;
+        for i in stm.registry.pending().iter_set_bits() {
+            ServerCounters::add(&st.slots_visited, 1);
+            let slot = stm.registry.slot(i);
             if slot.request_state.load(Ordering::SeqCst) != REQ_PENDING {
                 continue;
             }
-            found = true;
             let t = stm.timestamp.load(Ordering::Relaxed);
             // Algorithm 4, line 2: only take a request whose own
             // invalidation-server has processed every prior commit —
             // otherwise the tx_status check below would not be
             // authoritative. (In V2 the global wait below implies this;
-            // checking first lets V3 skip past a stalled partition.)
+            // checking first lets V3 skip past a stalled partition.) The
+            // request stays pending and is *not* counted as progress:
+            // treating a lagging partition as "found" work would keep the
+            // server hot-spinning with no backoff while contributing
+            // nothing.
             let req_server = stm.inval_server_of(i);
             if stm.inval_ts[req_server].load(Ordering::SeqCst) < t {
                 continue;
@@ -169,6 +298,9 @@ pub(crate) fn commit_server_v2(stm: &StmInner) {
                     bk.snooze();
                 }
             }
+            // Pickup: from here on this request is answered this pass.
+            stm.registry.pending().clear(i);
+            answered = true;
             // Algorithm 3, lines 9–10: authoritative invalidation check.
             if slot.tx_status.load(Ordering::SeqCst) == TX_INVALIDATED {
                 slot.request_state.store(REQ_ABORTED, Ordering::SeqCst);
@@ -201,9 +333,10 @@ pub(crate) fn commit_server_v2(stm: &StmInner) {
             stm.timestamp.store(t + 2, Ordering::SeqCst);
             slot.request_state.store(REQ_COMMITTED, Ordering::SeqCst);
         }
-        if found {
+        if answered {
             idle.reset();
         } else {
+            ServerCounters::add(&st.empty_passes, 1);
             idle.snooze();
         }
     }
@@ -217,6 +350,7 @@ pub(crate) fn invalidation_server(stm: &StmInner, k: usize) {
     let me = &stm.inval_ts[k];
     let ring = stm.commit_ring.len() as u64;
     let nk = stm.inval_ts.len();
+    let mut skip_mask: Vec<u64> = vec![0; stm.registry.len().div_ceil(64)];
     while !stm.shutdown.load(Ordering::SeqCst) {
         let my = me.load(Ordering::Relaxed);
         // Line 20: a commit with number `my/2` is (or has been) in flight.
@@ -225,8 +359,12 @@ pub(crate) fn invalidation_server(stm: &StmInner, k: usize) {
             stm.commit_ring[ring_idx].load_into(&mut wbf);
             let requester = stm.commit_req[ring_idx].load(Ordering::Relaxed);
             fence(Ordering::SeqCst);
-            // Lines 21–23: scan my partition.
-            invalidate_conflicting(stm, &wbf, requester, Some((k, nk)));
+            // Lines 21–23: scan my partition of the live map.
+            skip_mask.iter_mut().for_each(|w| *w = 0);
+            if requester < stm.registry.len() {
+                mask_set(&mut skip_mask, requester);
+            }
+            invalidate_conflicting(stm, &wbf, &skip_mask, Some((k, nk)));
             // Line 24: catch up by one commit.
             me.store(my + 2, Ordering::SeqCst);
             idle.reset();

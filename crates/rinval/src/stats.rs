@@ -10,6 +10,7 @@
 //! Profiling is opt-in ([`crate::StmBuilder::profile`]) because two
 //! `Instant::now()` calls per read would distort throughput benchmarks.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// Per-thread accumulated phase times and event counts.
@@ -70,6 +71,118 @@ impl PhaseStats {
             0.0
         } else {
             self.aborts as f64 / attempts as f64
+        }
+    }
+}
+
+/// Shared scan/batch counters maintained by the server threads (and by
+/// InvalSTM committers, which run the same invalidation scan inline).
+///
+/// These make the summary-bitmap optimization *observable*: a full
+/// registry walk would examine `registry.len()` slots per pass, while the
+/// bitmap scans examine only the set bits. Counters are plain relaxed
+/// `fetch_add`s on server-owned cache lines — cheap enough to stay on
+/// unconditionally.
+#[derive(Debug, Default)]
+pub struct ServerCounters {
+    /// Commit-server passes over the `pending` summary map.
+    pub scan_passes: AtomicU64,
+    /// Commit-server passes that found no request to process.
+    pub empty_passes: AtomicU64,
+    /// Slots actually examined by commit-server passes (set `pending` bits).
+    pub slots_visited: AtomicU64,
+    /// Invalidation/census scans over the `live` summary map.
+    pub inval_scans: AtomicU64,
+    /// Slots actually examined by those scans (set `live` bits).
+    pub inval_slots_visited: AtomicU64,
+    /// V1 commit batches processed (each batch = one timestamp bump).
+    pub batches: AtomicU64,
+    /// Commit requests answered through batches (`batched_requests /
+    /// batches` = mean batch size).
+    pub batched_requests: AtomicU64,
+}
+
+impl ServerCounters {
+    #[inline]
+    pub(crate) fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// A plain-value snapshot of the current counters.
+    pub fn snapshot(&self) -> ServerStats {
+        ServerStats {
+            scan_passes: self.scan_passes.load(Ordering::Relaxed),
+            empty_passes: self.empty_passes.load(Ordering::Relaxed),
+            slots_visited: self.slots_visited.load(Ordering::Relaxed),
+            inval_scans: self.inval_scans.load(Ordering::Relaxed),
+            inval_slots_visited: self.inval_slots_visited.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            batched_requests: self.batched_requests.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time snapshot of [`ServerCounters`]; see
+/// [`crate::Stm::server_stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Commit-server passes over the `pending` summary map.
+    pub scan_passes: u64,
+    /// Passes that found no request to process.
+    pub empty_passes: u64,
+    /// Slots examined by commit-server passes.
+    pub slots_visited: u64,
+    /// Invalidation/census scans over the `live` summary map.
+    pub inval_scans: u64,
+    /// Slots examined by those scans.
+    pub inval_slots_visited: u64,
+    /// V1 commit batches processed.
+    pub batches: u64,
+    /// Commit requests answered through batches.
+    pub batched_requests: u64,
+}
+
+impl ServerStats {
+    /// Slots a full-registry commit-server walk would have examined for
+    /// the same number of passes.
+    pub fn full_scan_equivalent(&self, registry_len: usize) -> u64 {
+        self.scan_passes * registry_len as u64
+    }
+
+    /// Slots a full-registry invalidation walk would have examined.
+    pub fn full_inval_equivalent(&self, registry_len: usize) -> u64 {
+        self.inval_scans * registry_len as u64
+    }
+
+    /// Mean slots examined per commit-server pass.
+    pub fn visited_per_pass(&self) -> f64 {
+        if self.scan_passes == 0 {
+            0.0
+        } else {
+            self.slots_visited as f64 / self.scan_passes as f64
+        }
+    }
+
+    /// Mean V1 batch size (1.0 when every bump served a single request).
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.batched_requests as f64 / self.batches as f64
+        }
+    }
+
+    /// Counter-wise difference (`self - earlier`), for before/after
+    /// windows around a measured region.
+    pub fn since(&self, earlier: &ServerStats) -> ServerStats {
+        ServerStats {
+            scan_passes: self.scan_passes - earlier.scan_passes,
+            empty_passes: self.empty_passes - earlier.empty_passes,
+            slots_visited: self.slots_visited - earlier.slots_visited,
+            inval_scans: self.inval_scans - earlier.inval_scans,
+            inval_slots_visited: self.inval_slots_visited - earlier.inval_slots_visited,
+            batches: self.batches - earlier.batches,
+            batched_requests: self.batched_requests - earlier.batched_requests,
         }
     }
 }
@@ -181,5 +294,32 @@ mod tests {
         std::thread::sleep(Duration::from_millis(2));
         p.stop(&mut bucket);
         assert!(bucket >= Duration::from_millis(1));
+    }
+
+    #[test]
+    fn server_counters_snapshot_and_derived() {
+        let c = ServerCounters::default();
+        ServerCounters::add(&c.scan_passes, 10);
+        ServerCounters::add(&c.slots_visited, 25);
+        ServerCounters::add(&c.empty_passes, 4);
+        ServerCounters::add(&c.batches, 2);
+        ServerCounters::add(&c.batched_requests, 6);
+        let s = c.snapshot();
+        assert_eq!(s.scan_passes, 10);
+        assert_eq!(s.full_scan_equivalent(128), 1280);
+        assert!((s.visited_per_pass() - 2.5).abs() < 1e-12);
+        assert!((s.mean_batch_size() - 3.0).abs() < 1e-12);
+
+        ServerCounters::add(&c.scan_passes, 5);
+        let d = c.snapshot().since(&s);
+        assert_eq!(d.scan_passes, 5);
+        assert_eq!(d.slots_visited, 0);
+    }
+
+    #[test]
+    fn server_stats_zero_divisions_are_safe() {
+        let s = ServerStats::default();
+        assert_eq!(s.visited_per_pass(), 0.0);
+        assert_eq!(s.mean_batch_size(), 0.0);
     }
 }

@@ -12,8 +12,13 @@
 //!   this host may be heavily oversubscribed, so unbounded pure spinning
 //!   would deadlock the scheduler. Yielding after a short spin keeps the
 //!   protocol live at any core count without changing its logic.
+//! * [`AtomicBitmap`] — a summary bitmap (one `AtomicU64` per 64 slots,
+//!   each word cache-padded) that lets server threads visit only the
+//!   registry slots that are actually pending/live instead of walking the
+//!   whole `max_threads` array on every pass.
 
 use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Pads and aligns a value to 128 bytes.
 ///
@@ -54,6 +59,111 @@ impl<T> DerefMut for CachePadded<T> {
 impl<T> From<T> for CachePadded<T> {
     fn from(value: T) -> Self {
         CachePadded::new(value)
+    }
+}
+
+/// A fixed-capacity concurrent bitmap: one `AtomicU64` word per 64 bits,
+/// each word padded to its own cache-line pair.
+///
+/// Used as the registry's *summary maps*: bit `i` mirrors a predicate of
+/// slot `i` ("has a pending request", "holds a live transaction"). Writers
+/// flip only their own bit with `fetch_or`/`fetch_and` (no CAS loop);
+/// readers snapshot a word at a time and walk its set bits with
+/// `trailing_zeros`, so a scan over an almost-empty 128-slot registry
+/// touches two words instead of 128 cache-line-pairs.
+///
+/// All accesses are `SeqCst`: the maps take part in the same
+/// total-order arguments as `request_state`/`tx_status` (see
+/// `registry.rs` for the publication protocol that makes a set bit imply
+/// an observable slot state).
+#[derive(Debug)]
+pub struct AtomicBitmap {
+    words: Box<[CachePadded<AtomicU64>]>,
+    bits: usize,
+}
+
+impl AtomicBitmap {
+    /// An all-zero bitmap with capacity for `bits` bits.
+    pub fn new(bits: usize) -> AtomicBitmap {
+        let nwords = bits.div_ceil(64).max(1);
+        let mut v = Vec::with_capacity(nwords);
+        v.resize_with(nwords, || CachePadded::new(AtomicU64::new(0)));
+        AtomicBitmap {
+            words: v.into_boxed_slice(),
+            bits,
+        }
+    }
+
+    /// Capacity in bits.
+    pub fn capacity(&self) -> usize {
+        self.bits
+    }
+
+    /// Sets bit `i` (one `fetch_or`, no CAS loop).
+    #[inline]
+    pub fn set(&self, i: usize) {
+        debug_assert!(i < self.bits);
+        self.words[i / 64].fetch_or(1u64 << (i % 64), Ordering::SeqCst);
+    }
+
+    /// Clears bit `i`.
+    #[inline]
+    pub fn clear(&self, i: usize) {
+        debug_assert!(i < self.bits);
+        self.words[i / 64].fetch_and(!(1u64 << (i % 64)), Ordering::SeqCst);
+    }
+
+    /// Current value of bit `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.bits);
+        self.words[i / 64].load(Ordering::SeqCst) & (1u64 << (i % 64)) != 0
+    }
+
+    /// True if any bit is set (word-at-a-time check).
+    pub fn any_set(&self) -> bool {
+        self.words.iter().any(|w| w.load(Ordering::SeqCst) != 0)
+    }
+
+    /// Iterates the indices of set bits in ascending order.
+    ///
+    /// Each underlying word is loaded exactly once, so the iteration is a
+    /// consistent per-word snapshot: bits set concurrently after a word was
+    /// loaded are picked up by the caller's next pass, never lost (the bit
+    /// stays set until its owner clears it).
+    pub fn iter_set_bits(&self) -> SetBits<'_> {
+        SetBits {
+            words: &self.words,
+            word_idx: 0,
+            current: self.words.first().map_or(0, |w| w.load(Ordering::SeqCst)),
+        }
+    }
+}
+
+/// Iterator over the set bits of an [`AtomicBitmap`]; see
+/// [`AtomicBitmap::iter_set_bits`].
+#[derive(Debug)]
+pub struct SetBits<'a> {
+    words: &'a [CachePadded<AtomicU64>],
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for SetBits<'_> {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        while self.current == 0 {
+            self.word_idx += 1;
+            if self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_idx].load(Ordering::SeqCst);
+        }
+        let bit = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1;
+        Some(self.word_idx * 64 + bit)
     }
 }
 
@@ -134,6 +244,65 @@ mod tests {
         let a = &arr[0] as *const _ as usize;
         let b = &arr[1] as *const _ as usize;
         assert!(b - a >= 128);
+    }
+
+    #[test]
+    fn bitmap_set_clear_get() {
+        let bm = AtomicBitmap::new(130);
+        assert_eq!(bm.capacity(), 130);
+        assert!(!bm.any_set());
+        for i in [0usize, 1, 63, 64, 127, 129] {
+            assert!(!bm.get(i));
+            bm.set(i);
+            assert!(bm.get(i));
+        }
+        assert!(bm.any_set());
+        bm.clear(64);
+        assert!(!bm.get(64));
+        assert!(bm.get(63) && bm.get(127));
+    }
+
+    #[test]
+    fn bitmap_iter_set_bits_ascending() {
+        let bm = AtomicBitmap::new(256);
+        let expect = [0usize, 5, 63, 64, 65, 128, 255];
+        for &i in expect.iter().rev() {
+            bm.set(i);
+        }
+        let got: Vec<usize> = bm.iter_set_bits().collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn bitmap_iter_empty() {
+        let bm = AtomicBitmap::new(128);
+        assert_eq!(bm.iter_set_bits().count(), 0);
+        bm.set(77);
+        bm.clear(77);
+        assert_eq!(bm.iter_set_bits().count(), 0);
+    }
+
+    #[test]
+    fn bitmap_set_is_idempotent_and_concurrent_bits_independent() {
+        let bm = AtomicBitmap::new(64);
+        bm.set(3);
+        bm.set(3);
+        bm.set(9);
+        assert_eq!(bm.iter_set_bits().collect::<Vec<_>>(), vec![3, 9]);
+        bm.clear(3);
+        assert_eq!(bm.iter_set_bits().collect::<Vec<_>>(), vec![9]);
+    }
+
+    #[test]
+    fn bitmap_words_are_cache_padded() {
+        // One padded word per 64 bits: slots 0..64 and 64..128 must live on
+        // distinct cache-line pairs so spinning servers don't false-share.
+        let bm = AtomicBitmap::new(128);
+        bm.set(0);
+        bm.set(64);
+        let w0 = &bm.words[0] as *const _ as usize;
+        let w1 = &bm.words[1] as *const _ as usize;
+        assert!(w1 - w0 >= 128);
     }
 
     #[test]
