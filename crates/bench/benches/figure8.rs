@@ -52,12 +52,13 @@ fn real_cross_check() {
          detection, path disjointness, conservation invariants)",
     );
     println!(
-        "{:>10} {:>8} {:>10} {:>10} {:>10} {:>10}",
-        "app", "threads", "norec", "invalstm", "rinval-v1", "rinval-v2"
+        "{:>10} {:>8} {:>10} {:>10} {:>10} {:>10} {:>12}",
+        "app", "threads", "norec", "invalstm", "rinval-v1", "rinval-v2", "heap-peak"
     );
     for app in App::ALL {
         for t in REAL_THREADS {
             print!("{:>10} {t:>8}", app.name());
+            let mut peak_words = 0u64;
             for algo in bench::real_lineup() {
                 let stm = Stm::builder(algo)
                     .heap_words(app.default_heap_words())
@@ -66,9 +67,10 @@ fn real_cross_check() {
                 if let Err(e) = verdict {
                     panic!("{} verification failed under {algo:?}: {e}", app.name());
                 }
+                peak_words = peak_words.max(report.heap_peak_words());
                 print!(" {:>9.1}", report.wall.as_secs_f64() * 1000.0);
             }
-            println!();
+            println!(" {:>11}w", peak_words);
         }
     }
 }

@@ -25,13 +25,6 @@ use crate::txn::Txn;
 use crate::{Aborted, AlgorithmKind, TxResult};
 use std::sync::atomic::{fence, Ordering};
 
-pub(crate) fn begin(tx: &mut Txn<'_>) {
-    // Registry-level begin: publishes the slot in the `live` summary map
-    // before its status flips to ALIVE, so committer scans (which walk
-    // only set live bits) can never miss this transaction.
-    tx.stm.registry.begin(tx.slot_idx);
-}
-
 pub(crate) fn read(tx: &mut Txn<'_>, h: Handle) -> TxResult<u64> {
     if let Some(v) = tx.ws.get(h) {
         return Ok(v);

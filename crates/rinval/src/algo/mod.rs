@@ -18,16 +18,46 @@ use crate::{AlgorithmKind, TxResult};
 
 /// Starts a transaction attempt (snapshot acquisition / slot registration /
 /// lock acquisition, depending on the algorithm).
+///
+/// Every algorithm now pins the reclamation horizon (DESIGN.md §9) at
+/// begin: *any* transaction holding handles must keep retired blocks from
+/// its start era out of circulation, not just the invalidation family.
+/// The invalidation family uses the full
+/// [`crate::registry::Registry::begin`] (which also publishes the slot in
+/// the `live` map and clears the read signature that committers/servers
+/// scan); the others only store their start era into their own slot
+/// ([`crate::registry::Registry::pin_era`]) — a single uncontended store,
+/// so the fast algorithms' critical path stays free of shared-map traffic.
+///
+/// The pinned era is the thread's cached copy of the clock, not a fresh
+/// read — begins must not touch the era cache line, which every
+/// free-carrying commit bumps. Stale is safe: a lower pin only delays
+/// recycling (DESIGN.md §9).
 pub(crate) fn begin(tx: &mut Txn<'_>) {
+    let era = tx.cache.era_cache;
     match tx.stm.algo {
-        AlgorithmKind::CoarseLock => coarse::begin(tx),
-        AlgorithmKind::Tml => tml::begin(tx),
-        AlgorithmKind::NOrec => norec::begin(tx),
-        AlgorithmKind::Tl2 => tl2::begin(tx),
+        AlgorithmKind::CoarseLock => {
+            tx.stm.registry.pin_era(tx.slot_idx, era);
+            coarse::begin(tx);
+        }
+        AlgorithmKind::Tml => {
+            tx.stm.registry.pin_era(tx.slot_idx, era);
+            tml::begin(tx);
+        }
+        AlgorithmKind::NOrec => {
+            tx.stm.registry.pin_era(tx.slot_idx, era);
+            norec::begin(tx);
+        }
+        AlgorithmKind::Tl2 => {
+            // TL2 needs the fenced pin: its stripe versions do not cover
+            // recycling writes, so the horizon scan must never miss it.
+            tx.stm.registry.pin_era_fenced(tx.slot_idx, era);
+            tl2::begin(tx);
+        }
         AlgorithmKind::InvalStm
         | AlgorithmKind::RInvalV1
         | AlgorithmKind::RInvalV2 { .. }
-        | AlgorithmKind::RInvalV3 { .. } => invalstm::begin(tx),
+        | AlgorithmKind::RInvalV3 { .. } => tx.stm.registry.begin(tx.slot_idx, era),
     }
 }
 
@@ -57,26 +87,35 @@ pub(crate) fn commit(tx: &mut Txn<'_>) -> TxResult<()> {
     r
 }
 
-/// Post-commit bookkeeping (deregister from the in-flight registry and
-/// withdraw the slot from the `live` summary map).
+/// Post-commit bookkeeping: unpin the reclamation horizon; the
+/// invalidation family additionally deregisters from the in-flight
+/// registry and withdraws the slot from the `live` summary map.
 pub(crate) fn cleanup_commit(tx: &mut Txn<'_>) {
     match tx.stm.algo {
         AlgorithmKind::CoarseLock
         | AlgorithmKind::Tml
         | AlgorithmKind::NOrec
-        | AlgorithmKind::Tl2 => {}
+        | AlgorithmKind::Tl2 => tx.stm.registry.unpin_era(tx.slot_idx),
         _ => tx.stm.registry.end(tx.slot_idx),
     }
 }
 
 /// Post-abort bookkeeping: release any held lock, roll back in-place
-/// writes, deregister.
+/// writes, unpin the horizon / deregister.
 pub(crate) fn cleanup_abort(tx: &mut Txn<'_>) {
     match tx.stm.algo {
-        AlgorithmKind::CoarseLock => coarse::abort(tx),
-        AlgorithmKind::Tml => tml::abort(tx),
+        AlgorithmKind::CoarseLock => {
+            coarse::abort(tx);
+            tx.stm.registry.unpin_era(tx.slot_idx);
+        }
+        AlgorithmKind::Tml => {
+            tml::abort(tx);
+            tx.stm.registry.unpin_era(tx.slot_idx);
+        }
         // TL2's commit releases its own locks on every failure path.
-        AlgorithmKind::NOrec | AlgorithmKind::Tl2 => {}
+        AlgorithmKind::NOrec | AlgorithmKind::Tl2 => {
+            tx.stm.registry.unpin_era(tx.slot_idx)
+        }
         _ => tx.stm.registry.end(tx.slot_idx),
     }
 }

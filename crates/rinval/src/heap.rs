@@ -1,4 +1,5 @@
-//! The word-based transactional heap.
+//! The word-based transactional heap: a segmented, growable arena with a
+//! transactional allocation lifecycle.
 //!
 //! Like RSTM (the C++ framework the paper implements RInval in), the STM is
 //! *word-based*: shared state is an arena of 64-bit words, and transactions
@@ -12,14 +13,47 @@
 //! expressed here as relaxed atomic accesses ordered by the surrounding
 //! timestamp protocol.
 //!
-//! Allocation is a thread-safe bump pointer. There is **no reclamation**:
-//! the arena lives as long as the [`crate::Stm`], matching how the paper's
-//! benchmarks run (structures are built, exercised, then the whole STM is
-//! torn down). `txds` layers transactional free-lists on top where reuse
-//! matters.
+//! ## Segmented layout
+//!
+//! The arena is two-level: a fixed table of segment pointers, each covering
+//! `segment_words` (a power of two) contiguous word indices. A [`Handle`]
+//! stays a `u32` word index; the top bits select the segment and the low
+//! bits the offset, so existing handles never move and records may span a
+//! segment boundary (every access decodes per word). Segments are
+//! materialized on demand with a CAS publish, so allocation keeps
+//! succeeding until the configured capacity ceiling instead of returning
+//! `None` when an initial fixed arena fills — the growth half of the
+//! ROADMAP's "long-running workloads" requirement.
+//!
+//! The bump pointer advances with a CAS loop rather than `fetch_add`, so a
+//! *failed* oversized allocation reserves nothing: the next smaller request
+//! still fits (the old monotone `fetch_add` permanently wasted the
+//! over-reservation).
+//!
+//! ## Reclamation (the lifecycle half)
+//!
+//! Reuse is driven by [`crate::Txn::free`]: committed frees land in the
+//! freeing thread's `HeapCache` *retire list*, stamped with the heap's
+//! monotonically increasing **era**. A retired block may be handed out
+//! again only once the *reclamation horizon* — the minimum `start_era`
+//! over all live registry slots — has reached its stamp, which guarantees
+//! no in-flight transaction (including invalidation-lagged zombies under
+//! RInval, and TL2 readers whose orecs a private re-initialization would
+//! not bump) can still observe the block under its old identity. The
+//! horizon computation lives in `StmInner::reclaim_horizon`; DESIGN.md §9
+//! gives the proof sketch. Aborted transactions surrender their
+//! speculative allocations straight back to the cache (they were never
+//! published, so no horizon is needed).
+//!
+//! Holding a `Handle` *across* transactions after another thread frees it
+//! is a logic error, exactly like a dangling pointer; the `txds`
+//! structures only free nodes they have unlinked in the same transaction.
 
+use crate::logs::AllocLog;
+use std::collections::VecDeque;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Index of a word in the transactional heap.
 ///
@@ -83,51 +117,254 @@ impl fmt::Debug for Handle {
     }
 }
 
+/// Smallest segment size (words). Keeps tiny test heaps cheap.
+const MIN_SEG_WORDS: usize = 1 << 9;
+/// Largest segment size (words); bounds per-growth-step allocation.
+const MAX_SEG_WORDS: usize = 1 << 20;
+/// Segment-pointer table length cap; with the largest segments this covers
+/// more words than 32-bit handles can address.
+const MAX_SEGMENTS: usize = 4096;
+/// Largest word index a `u32` handle can encode.
+const HARD_CAP_WORDS: usize = u32::MAX as usize - 1;
+
+/// Snapshot of the heap's allocation telemetry (see [`crate::Stm::heap_stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HeapStats {
+    /// Words handed out from the bump frontier so far (monotone; the
+    /// arena's peak footprint, since recycled words never re-enter it).
+    pub allocated_words: u64,
+    /// Words retired by committed [`crate::Txn::free`] calls.
+    pub freed_words: u64,
+    /// Words handed back out from retire lists (reuse, not arena growth).
+    pub recycled_words: u64,
+    /// Segments currently materialized.
+    pub live_segments: usize,
+    /// Words per segment (power of two, fixed at construction).
+    pub segment_words: usize,
+    /// Capacity ceiling in words (allocation fails only past this).
+    pub capacity_words: usize,
+    /// Words of backing memory reserved (`live_segments · segment_words`).
+    pub reserved_words: usize,
+}
+
+impl HeapStats {
+    /// Words currently handed out and not yet freed.
+    pub fn in_use_words(&self) -> u64 {
+        (self.allocated_words + self.recycled_words).saturating_sub(self.freed_words)
+    }
+}
+
+/// A retired block awaiting its reclamation horizon: `(era stamp, addr, len)`.
+type Retired = (u64, u32, u32);
+
 /// The shared arena of transactional words.
 pub struct Heap {
-    words: Box<[AtomicU64]>,
-    /// Bump pointer; slot 0 is reserved so index 0 can mean NULL.
+    /// Flat storage for the first `base_segs` segments (the initial
+    /// arena), allocated up front. Word accesses below `base_words` take
+    /// this path directly — no segment-table indirection — so workloads
+    /// whose working set fits the configured initial size pay nothing for
+    /// growability on the read/write fast path.
+    base: Box<[AtomicU64]>,
+    /// `base.len()` (== `base_segs * seg_words`).
+    base_words: usize,
+    /// Leading table entries that alias `base` (never freed via the table).
+    base_segs: usize,
+    /// Segment-pointer table; null = not yet materialized. Entries past
+    /// `base_segs` own a leaked `Box<[AtomicU64; seg_words]>` freed in
+    /// `Drop`; entries below it point into `base`.
+    table: Box<[AtomicPtr<AtomicU64>]>,
+    /// Words per segment (power of two).
+    seg_words: usize,
+    seg_shift: u32,
+    /// Usable word indices are `1..=max_words`.
+    max_words: usize,
+    /// Bump frontier; slot 0 is reserved so index 0 can mean NULL.
     next: AtomicUsize,
+    /// Reclamation clock: bumped once per committed transaction that freed
+    /// blocks, *after* its commit is fully visible.
+    era: AtomicU64,
+    live_segments: AtomicUsize,
+    freed_words: AtomicU64,
+    recycled_words: AtomicU64,
+    /// Blocks surrendered by deregistered threads, picked up by any thread
+    /// whose local cache misses. Matured entries carry stamp 0.
+    pool: Mutex<Vec<Retired>>,
 }
 
 impl Heap {
-    /// Creates a heap holding `capacity` words (plus the reserved null slot).
-    pub fn new(capacity: usize) -> Heap {
+    /// Creates a heap that pre-materializes roughly `initial_words` and
+    /// grows on demand up to a large default ceiling.
+    pub fn new(initial_words: usize) -> Heap {
+        Heap::with_limits(initial_words, None)
+    }
+
+    /// Creates a heap sized for `initial_words` with an explicit capacity
+    /// ceiling (`None` = as far as the segment table and 32-bit handles
+    /// reach). Tests use a small ceiling to exercise true exhaustion.
+    pub fn with_limits(initial_words: usize, max_words: Option<usize>) -> Heap {
         assert!(
-            capacity < u32::MAX as usize - 1,
+            initial_words <= HARD_CAP_WORDS,
             "heap capacity must fit in 32-bit handles"
         );
-        let mut v = Vec::with_capacity(capacity + 1);
-        v.resize_with(capacity + 1, || AtomicU64::new(0));
+        let seg_words = (initial_words / 8)
+            .next_power_of_two()
+            .clamp(MIN_SEG_WORDS, MAX_SEG_WORDS);
+        let table_len = MAX_SEGMENTS
+            .min((HARD_CAP_WORDS + 1).div_ceil(seg_words))
+            .max(1);
+        let table_cap = table_len * seg_words - 1;
+        let max_words = max_words
+            .unwrap_or(table_cap)
+            .min(table_cap)
+            .min(HARD_CAP_WORDS);
+        let mut table = Vec::with_capacity(table_len);
+        table.resize_with(table_len, || AtomicPtr::new(std::ptr::null_mut()));
+        let table = table.into_boxed_slice();
+        // The initial arena (plus segment 0, which holds the reserved null
+        // index) is one flat allocation, matching the old upfront layout;
+        // its segments are mirrored into the table so every addressing
+        // path works uniformly.
+        let base_segs = (initial_words.min(max_words) + 1)
+            .div_ceil(seg_words)
+            .clamp(1, table_len);
+        let base_words = base_segs * seg_words;
+        let mut v = Vec::with_capacity(base_words);
+        v.resize_with(base_words, || AtomicU64::new(0));
+        let base = v.into_boxed_slice();
+        for s in 0..base_segs {
+            let p = base[s * seg_words..].as_ptr() as *mut AtomicU64;
+            table[s].store(p, Ordering::Release);
+        }
         Heap {
-            words: v.into_boxed_slice(),
+            base,
+            base_words,
+            base_segs,
+            table,
+            seg_words,
+            seg_shift: seg_words.trailing_zeros(),
+            max_words,
             next: AtomicUsize::new(1),
+            era: AtomicU64::new(0),
+            live_segments: AtomicUsize::new(base_segs),
+            freed_words: AtomicU64::new(0),
+            recycled_words: AtomicU64::new(0),
+            pool: Mutex::new(Vec::new()),
         }
     }
 
-    /// Total usable words.
+    /// Total usable words (the growth ceiling, not currently-reserved memory).
     pub fn capacity(&self) -> usize {
-        self.words.len() - 1
+        self.max_words
     }
 
-    /// Words handed out so far.
+    /// Words handed out from the bump frontier so far (recycling excluded).
     pub fn allocated(&self) -> usize {
         self.next.load(Ordering::Relaxed) - 1
     }
 
-    /// Allocates `n` contiguous zeroed words, or `None` if the arena is
-    /// exhausted. Lock-free (single `fetch_add`).
+    /// Telemetry snapshot.
+    pub fn stats(&self) -> HeapStats {
+        let live_segments = self.live_segments.load(Ordering::Relaxed);
+        HeapStats {
+            allocated_words: self.allocated() as u64,
+            freed_words: self.freed_words.load(Ordering::Relaxed),
+            recycled_words: self.recycled_words.load(Ordering::Relaxed),
+            live_segments,
+            segment_words: self.seg_words,
+            capacity_words: self.max_words,
+            reserved_words: live_segments * self.seg_words,
+        }
+    }
+
+    /// Current value of the reclamation clock.
+    #[inline]
+    pub(crate) fn current_era(&self) -> u64 {
+        self.era.load(Ordering::SeqCst)
+    }
+
+    /// Advances the reclamation clock and returns the new stamp. Called by
+    /// a committed transaction with frees, after its commit is visible.
+    #[inline]
+    pub(crate) fn advance_era(&self) -> u64 {
+        self.era.fetch_add(1, Ordering::SeqCst) + 1
+    }
+
+    /// Materializes every segment covering word indices `[start, start+n)`.
+    fn ensure_segments(&self, start: usize, n: usize) {
+        let first = start >> self.seg_shift;
+        let last = (start + n.max(1) - 1) >> self.seg_shift;
+        for s in first..=last {
+            if !self.table[s].load(Ordering::Acquire).is_null() {
+                continue;
+            }
+            let mut v = Vec::with_capacity(self.seg_words);
+            v.resize_with(self.seg_words, || AtomicU64::new(0));
+            let raw = Box::into_raw(v.into_boxed_slice()) as *mut AtomicU64;
+            match self.table[s].compare_exchange(
+                std::ptr::null_mut(),
+                raw,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => {
+                    self.live_segments.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(_) => unsafe {
+                    // Another thread published first; drop our copy.
+                    drop(Box::from_raw(std::ptr::slice_from_raw_parts_mut(
+                        raw,
+                        self.seg_words,
+                    )));
+                },
+            }
+        }
+    }
+
+    /// The word at index `idx`, which must lie in a materialized segment.
+    #[inline]
+    fn word(&self, idx: usize) -> &AtomicU64 {
+        // Fast path: the initial arena is flat, so accesses below
+        // `base_words` skip the table's dependent load entirely. This is
+        // the common case on every transactional read/write when the
+        // configured initial size covers the working set.
+        if idx < self.base_words {
+            // SAFETY: `idx < base_words == base.len()`.
+            return unsafe { self.base.get_unchecked(idx) };
+        }
+        let seg = idx >> self.seg_shift;
+        let off = idx & (self.seg_words - 1);
+        // Acquire pairs with the CAS publish in `ensure_segments`, so the
+        // zeroed segment contents are visible.
+        let ptr = self.table[seg].load(Ordering::Acquire);
+        assert!(!ptr.is_null(), "access to unmaterialized heap segment");
+        unsafe { &*ptr.add(off) }
+    }
+
+    /// Allocates `n` contiguous zeroed words from the bump frontier, or
+    /// `None` past the capacity ceiling. Lock-free; a failed attempt
+    /// reserves nothing (CAS loop, not `fetch_add`), so smaller requests
+    /// still succeed after an oversized one fails.
     pub fn alloc(&self, n: usize) -> Option<Handle> {
         if n == 0 {
             return Some(Handle::NULL);
         }
-        let start = self.next.fetch_add(n, Ordering::Relaxed);
-        if start + n > self.words.len() {
-            // Over-reserved past the end; the arena is effectively full.
-            // (The bump pointer is monotone; wasting the reservation is fine.)
-            return None;
+        let mut cur = self.next.load(Ordering::Relaxed);
+        loop {
+            let end = cur.checked_add(n)?;
+            if end - 1 > self.max_words {
+                return None;
+            }
+            match self
+                .next
+                .compare_exchange_weak(cur, end, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => {
+                    self.ensure_segments(cur, n);
+                    return Some(Handle(cur as u32));
+                }
+                Err(c) => cur = c,
+            }
         }
-        Some(Handle(start as u32))
     }
 
     /// Relaxed load of a word. Callers are responsible for ordering via the
@@ -135,7 +372,7 @@ impl Heap {
     #[inline]
     pub fn load(&self, h: Handle) -> u64 {
         debug_assert!(!h.is_null(), "load through null handle");
-        self.words[h.0 as usize].load(Ordering::Relaxed)
+        self.word(h.0 as usize).load(Ordering::Relaxed)
     }
 
     /// Relaxed store of a word (commit write-back, or initialization of
@@ -143,18 +380,88 @@ impl Heap {
     #[inline]
     pub fn store(&self, h: Handle, v: u64) {
         debug_assert!(!h.is_null(), "store through null handle");
-        self.words[h.0 as usize].store(v, Ordering::Relaxed);
+        self.word(h.0 as usize).store(v, Ordering::Relaxed);
     }
 
     /// Bounds-checking variant used by server threads on untrusted request
-    /// contents (a corrupted address must not fault the server).
+    /// contents (a corrupted address must not fault the server). Also
+    /// rejects addresses in unmaterialized segments.
     #[inline]
     pub(crate) fn store_checked(&self, addr: u32, v: u64) -> bool {
-        if addr == 0 || addr as usize >= self.words.len() {
+        if addr == 0 || addr as usize > self.max_words {
             return false;
         }
-        self.words[addr as usize].store(v, Ordering::Relaxed);
+        let idx = addr as usize;
+        if idx < self.base_words {
+            // SAFETY: `idx < base_words == base.len()`.
+            unsafe { self.base.get_unchecked(idx) }.store(v, Ordering::Relaxed);
+            return true;
+        }
+        let ptr = self.table[idx >> self.seg_shift].load(Ordering::Acquire);
+        if ptr.is_null() {
+            return false;
+        }
+        unsafe { &*ptr.add(idx & (self.seg_words - 1)) }.store(v, Ordering::Relaxed);
         true
+    }
+
+    /// Zeroes `n` words starting at `addr` (recycled-block handout; fresh
+    /// segments are born zeroed, preserving the `calloc` contract).
+    fn zero_range(&self, addr: u32, n: usize) {
+        for i in 0..n {
+            self.word(addr as usize + i).store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Moves matured pool entries (stamp ≤ `horizon`) into `cache`.
+    /// Non-blocking: contention just means the caller falls back to the
+    /// bump frontier.
+    pub(crate) fn pool_drain_into(&self, cache: &mut HeapCache, horizon: u64) {
+        if let Ok(mut pool) = self.pool.try_lock() {
+            pool.retain(|&(stamp, addr, len)| {
+                if stamp <= horizon {
+                    cache.push_bin(addr, len);
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+    }
+
+    /// Surrenders a deregistering thread's entire cache to the shared pool.
+    /// Already-matured blocks keep stamp 0 (reclaimable immediately:
+    /// maturity is monotone because the era never decreases).
+    pub(crate) fn pool_flush(&self, cache: &mut HeapCache) {
+        let mut pool = self.pool.lock().unwrap();
+        for (len, bin) in cache.bins.iter_mut().enumerate() {
+            for addr in bin.drain(..) {
+                pool.push((0, addr, len as u32));
+            }
+        }
+        for (addr, len) in cache.large.drain(..) {
+            pool.push((0, addr, len));
+        }
+        for (stamp, addr, len) in cache.retired.drain(..) {
+            pool.push((stamp, addr, len));
+        }
+    }
+}
+
+impl Drop for Heap {
+    fn drop(&mut self) {
+        // The first `base_segs` entries alias `base`, which frees itself.
+        for slot in self.table.iter_mut().skip(self.base_segs) {
+            let p = *slot.get_mut();
+            if !p.is_null() {
+                unsafe {
+                    drop(Box::from_raw(std::ptr::slice_from_raw_parts_mut(
+                        p,
+                        self.seg_words,
+                    )));
+                }
+            }
+        }
     }
 }
 
@@ -163,7 +470,139 @@ impl fmt::Debug for Heap {
         f.debug_struct("Heap")
             .field("capacity", &self.capacity())
             .field("allocated", &self.allocated())
+            .field("segments", &self.live_segments.load(Ordering::Relaxed))
+            .field("segment_words", &self.seg_words)
             .finish()
+    }
+}
+
+/// Exact-size free lists up to this many words; larger blocks go to an
+/// unbinned overflow list. Covers every `txds` node size with room to spare.
+const MAX_BIN: usize = 32;
+
+/// Per-thread allocation cache: size-binned free blocks ready for handout,
+/// plus the retire list of committed frees waiting out their reclamation
+/// horizon. Owned by a [`crate::ThreadHandle`]; surrendered to the heap's
+/// shared pool when the handle drops.
+pub(crate) struct HeapCache {
+    /// `bins[len]` holds addresses of free blocks of exactly `len` words.
+    bins: [Vec<u32>; MAX_BIN + 1],
+    /// Free blocks larger than [`MAX_BIN`], as `(addr, len)`.
+    large: Vec<(u32, u32)>,
+    /// Committed frees, stamped with the era at their commit; front-to-back
+    /// in non-decreasing stamp order (one thread's commits are ordered).
+    retired: VecDeque<Retired>,
+    /// Conservative local copy of the heap's era clock, pinned into the
+    /// registry at every transaction begin. Deliberately stale: refreshing
+    /// it only where this thread touches the era line anyway (its own
+    /// free-commits, the allocation slow path) keeps the shared clock off
+    /// the begin fast path. A stale (lower) pin is always safe — it only
+    /// under-approximates the reclamation horizon, delaying (never
+    /// unleashing) recycling.
+    pub(crate) era_cache: u64,
+}
+
+impl HeapCache {
+    /// A cache whose era starts at `era` (the clock value observed at
+    /// thread registration — safe for the same reason any stale-low value
+    /// is, and fresh enough that the thread's first pins don't stall the
+    /// horizon).
+    pub(crate) fn new_at(era: u64) -> HeapCache {
+        HeapCache {
+            bins: std::array::from_fn(|_| Vec::new()),
+            large: Vec::new(),
+            retired: VecDeque::new(),
+            era_cache: era,
+        }
+    }
+
+    fn push_bin(&mut self, addr: u32, len: u32) {
+        if (len as usize) <= MAX_BIN {
+            self.bins[len as usize].push(addr);
+        } else {
+            self.large.push((addr, len));
+        }
+    }
+
+    fn pop_bin(&mut self, len: u32) -> Option<u32> {
+        if (len as usize) <= MAX_BIN {
+            self.bins[len as usize].pop()
+        } else {
+            let i = self.large.iter().position(|&(_, l)| l == len)?;
+            Some(self.large.swap_remove(i).0)
+        }
+    }
+
+    /// Moves retired blocks whose stamp the horizon has passed into the
+    /// handout bins.
+    fn mature(&mut self, horizon: u64) {
+        while let Some(&(stamp, addr, len)) = self.retired.front() {
+            if stamp > horizon {
+                break;
+            }
+            self.retired.pop_front();
+            self.push_bin(addr, len);
+        }
+    }
+
+    /// Allocates `n` words: recycled from the local bins if possible, then
+    /// from newly matured retirees (local and shared pool; `horizon` is
+    /// only evaluated on this slow path), then from the bump frontier.
+    /// Returns `None` only at the true capacity ceiling.
+    pub(crate) fn alloc(
+        &mut self,
+        heap: &Heap,
+        horizon: impl FnOnce() -> u64,
+        n: usize,
+    ) -> Option<Handle> {
+        debug_assert!(n >= 1);
+        let len = u32::try_from(n).ok()?;
+        if let Some(addr) = self.pop_bin(len) {
+            return Some(self.hand_out(heap, addr, n));
+        }
+        self.era_cache = heap.current_era();
+        let hz = horizon();
+        self.mature(hz);
+        heap.pool_drain_into(self, hz);
+        if let Some(addr) = self.pop_bin(len) {
+            return Some(self.hand_out(heap, addr, n));
+        }
+        heap.alloc(n)
+    }
+
+    fn hand_out(&mut self, heap: &Heap, addr: u32, n: usize) -> Handle {
+        heap.zero_range(addr, n);
+        heap.recycled_words.fetch_add(n as u64, Ordering::Relaxed);
+        Handle(addr)
+    }
+
+    /// Commit hook: the attempt's frees become retired blocks under a fresh
+    /// era stamp (taken *after* the commit is fully visible — under RInval
+    /// that means after the server answered `COMMITTED`, so its write-back
+    /// has finished); its allocations are now published and forgotten.
+    pub(crate) fn commit(&mut self, heap: &Heap, log: &mut AllocLog) {
+        log.allocs.clear();
+        if log.frees.is_empty() {
+            return;
+        }
+        let stamp = heap.advance_era();
+        self.era_cache = self.era_cache.max(stamp);
+        for &(addr, len) in &log.frees {
+            heap.freed_words.fetch_add(len as u64, Ordering::Relaxed);
+            self.retired.push_back((stamp, addr, len));
+        }
+        log.frees.clear();
+    }
+
+    /// Abort hook: speculative allocations were never published, so they
+    /// return straight to the bins (no horizon needed — even a recycled
+    /// block re-aborted here was already unreachable); frees are dropped.
+    pub(crate) fn abort(&mut self, log: &mut AllocLog) {
+        for &(addr, len) in &log.allocs {
+            self.push_bin(addr, len);
+        }
+        log.allocs.clear();
+        log.frees.clear();
     }
 }
 
@@ -201,10 +640,66 @@ mod tests {
     }
 
     #[test]
-    fn alloc_exhaustion_returns_none() {
-        let heap = Heap::new(8);
+    fn alloc_exhaustion_returns_none_at_ceiling() {
+        let heap = Heap::with_limits(8, Some(8));
         assert!(heap.alloc(8).is_some());
         assert!(heap.alloc(1).is_none());
+    }
+
+    #[test]
+    fn failed_alloc_wastes_nothing() {
+        // Regression: the old monotone `fetch_add` bump permanently burned
+        // the over-reservation of a failed alloc, so the subsequent smaller
+        // request below would also fail.
+        let heap = Heap::with_limits(16, Some(16));
+        assert!(heap.alloc(12).is_some());
+        for _ in 0..10 {
+            assert!(heap.alloc(8).is_none(), "past the ceiling");
+        }
+        assert_eq!(heap.allocated(), 12, "failed allocs must reserve nothing");
+        assert!(heap.alloc(4).is_some(), "remaining words still allocatable");
+        assert!(heap.alloc(1).is_none());
+    }
+
+    #[test]
+    fn heap_grows_past_initial_words() {
+        let heap = Heap::new(64);
+        let initial_segments = heap.stats().live_segments;
+        // Far more than the initial arena; must grow, not fail.
+        let mut handles = Vec::new();
+        for i in 0..1000u64 {
+            let h = heap.alloc(4).expect("growable heap must not exhaust");
+            heap.store(h, i);
+            handles.push(h);
+        }
+        let st = heap.stats();
+        assert!(st.live_segments > initial_segments, "no growth observed");
+        assert_eq!(st.reserved_words, st.live_segments * st.segment_words);
+        for (i, h) in handles.iter().enumerate() {
+            assert_eq!(heap.load(*h), i as u64);
+            assert_eq!(heap.load(h.field(3)), 0, "new segments must be zeroed");
+        }
+    }
+
+    #[test]
+    fn records_may_span_segment_boundaries() {
+        let heap = Heap::new(64); // 512-word segments
+        // Walk allocations across the first boundary and verify per-word
+        // addressing on both sides.
+        let mut crossed = false;
+        for _ in 0..200 {
+            let h = heap.alloc(5).unwrap();
+            for i in 0..5 {
+                heap.store(h.field(i), u64::from(h.0) * 10 + u64::from(i));
+            }
+            for i in 0..5 {
+                assert_eq!(heap.load(h.field(i)), u64::from(h.0) * 10 + u64::from(i));
+            }
+            let first_seg = h.0 as usize >> heap.seg_shift;
+            let last_seg = (h.0 as usize + 4) >> heap.seg_shift;
+            crossed |= first_seg != last_seg;
+        }
+        assert!(crossed, "test did not cross a segment boundary");
     }
 
     #[test]
@@ -229,7 +724,7 @@ mod tests {
 
     #[test]
     fn store_checked_rejects_bad_addresses() {
-        let heap = Heap::new(4);
+        let heap = Heap::with_limits(4, Some(4));
         assert!(!heap.store_checked(0, 1), "null must be rejected");
         assert!(!heap.store_checked(100, 1), "out of range must be rejected");
         let h = heap.alloc(1).unwrap();
@@ -238,8 +733,115 @@ mod tests {
     }
 
     #[test]
+    fn cache_recycles_committed_frees() {
+        let heap = Heap::new(64);
+        let mut cache = HeapCache::new_at(0);
+        let mut log = AllocLog::default();
+
+        let a = cache.alloc(&heap, || u64::MAX, 3).unwrap();
+        log.allocs.push((a.addr(), 3));
+        heap.store(a, 7);
+        cache.commit(&heap, &mut log); // publish
+
+        log.frees.push((a.addr(), 3));
+        cache.commit(&heap, &mut log); // free commits, block retired
+
+        // No live transactions → horizon is MAX → the block matures.
+        let b = cache.alloc(&heap, || u64::MAX, 3).unwrap();
+        assert_eq!(b, a, "matured block must be recycled");
+        assert_eq!(heap.load(b), 0, "recycled block must be re-zeroed");
+        let st = heap.stats();
+        assert_eq!(st.freed_words, 3);
+        assert_eq!(st.recycled_words, 3);
+        assert_eq!(st.allocated_words, 3, "no arena growth for the reuse");
+        assert_eq!(st.in_use_words(), 3);
+    }
+
+    #[test]
+    fn horizon_blocks_premature_reuse() {
+        let heap = Heap::new(64);
+        let mut cache = HeapCache::new_at(0);
+        let mut log = AllocLog::default();
+        let a = cache.alloc(&heap, || u64::MAX, 2).unwrap();
+        log.allocs.push((a.addr(), 2));
+        cache.commit(&heap, &mut log);
+        log.frees.push((a.addr(), 2));
+        cache.commit(&heap, &mut log);
+        let stamp = heap.current_era();
+
+        // A lagging reader pins the horizon below the stamp: no reuse.
+        let b = cache.alloc(&heap, || stamp - 1, 2).unwrap();
+        assert_ne!(b, a, "block reused before its horizon passed");
+        // Horizon reaches the stamp: reuse.
+        let c = cache.alloc(&heap, || stamp, 2).unwrap();
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn abort_returns_speculative_allocations() {
+        let heap = Heap::new(64);
+        let mut cache = HeapCache::new_at(0);
+        let mut log = AllocLog::default();
+        let a = cache.alloc(&heap, || u64::MAX, 4).unwrap();
+        log.allocs.push((a.addr(), 4));
+        heap.store(a, 99); // speculative init
+        cache.abort(&mut log);
+        assert_eq!(heap.allocated(), 4);
+        // The very next alloc reuses the surrendered block, zeroed.
+        let b = cache.alloc(&heap, || u64::MAX, 4).unwrap();
+        assert_eq!(b, a, "aborted allocation must be surrendered for reuse");
+        assert_eq!(heap.load(b), 0);
+        assert_eq!(heap.allocated(), 4, "no arena growth after abort churn");
+    }
+
+    #[test]
+    fn alloc_then_free_in_one_attempt_is_single_counted() {
+        let heap = Heap::new(64);
+        let mut cache = HeapCache::new_at(0);
+        let mut log = AllocLog::default();
+
+        // Commit path: the block is retired exactly once.
+        let a = cache.alloc(&heap, || u64::MAX, 2).unwrap();
+        log.allocs.push((a.addr(), 2));
+        log.frees.push((a.addr(), 2));
+        cache.commit(&heap, &mut log);
+        let b = cache.alloc(&heap, || u64::MAX, 2).unwrap();
+        assert_eq!(b, a);
+        let c = cache.alloc(&heap, || u64::MAX, 2).unwrap();
+        assert_ne!(c, a, "block must not be handed out twice");
+
+        // Abort path: the block returns exactly once.
+        let mut log = AllocLog::default();
+        let d = cache.alloc(&heap, || u64::MAX, 2).unwrap();
+        log.allocs.push((d.addr(), 2));
+        log.frees.push((d.addr(), 2));
+        cache.abort(&mut log);
+        let e = cache.alloc(&heap, || u64::MAX, 2).unwrap();
+        assert_eq!(e, d);
+        let f = cache.alloc(&heap, || u64::MAX, 2).unwrap();
+        assert_ne!(f, d);
+    }
+
+    #[test]
+    fn pool_hands_blocks_between_caches() {
+        let heap = Heap::new(64);
+        let mut log = AllocLog::default();
+        let mut cache1 = HeapCache::new_at(0);
+        let a = cache1.alloc(&heap, || u64::MAX, 3).unwrap();
+        log.allocs.push((a.addr(), 3));
+        cache1.commit(&heap, &mut log);
+        log.frees.push((a.addr(), 3));
+        cache1.commit(&heap, &mut log);
+        heap.pool_flush(&mut cache1); // thread deregisters
+
+        let mut cache2 = HeapCache::new_at(0);
+        let b = cache2.alloc(&heap, || u64::MAX, 3).unwrap();
+        assert_eq!(b, a, "pooled block must be reusable by another thread");
+    }
+
+    #[test]
     fn concurrent_alloc_never_overlaps() {
-        let heap = Arc::new(Heap::new(10_000));
+        let heap = Arc::new(Heap::new(256)); // small: forces concurrent growth
         let mut handles = Vec::new();
         for _ in 0..4 {
             let heap = Arc::clone(&heap);

@@ -64,7 +64,7 @@ mod algo;
 mod server;
 mod txn;
 
-pub use heap::{Handle, Heap};
+pub use heap::{Handle, Heap, HeapStats};
 pub use policy::CmPolicy;
 pub use stats::{PhaseStats, ServerStats};
 pub use tvar::{TVar, Word};
@@ -230,12 +230,30 @@ impl StmInner {
     pub(crate) fn inval_server_of(&self, idx: usize) -> usize {
         idx % self.inval_ts.len().max(1)
     }
+
+    /// The reclamation horizon: the minimum `start_era` over all in-flight
+    /// transactions, or `u64::MAX` when none are in flight. A retired
+    /// block whose era stamp is `<=` this value can no longer be observed
+    /// by any in-flight transaction and may be recycled (DESIGN.md §9).
+    ///
+    /// Every algorithm pins its start era into its own slot at begin and
+    /// resets it to `u64::MAX` at end, so the scan walks the whole slot
+    /// array unconditionally — it runs only on the allocation slow path
+    /// (per-thread bin miss), where O(max_threads) loads are noise.
+    pub(crate) fn reclaim_horizon(&self) -> u64 {
+        let mut horizon = u64::MAX;
+        for (_, slot) in self.registry.iter() {
+            horizon = horizon.min(slot.start_era.load(Ordering::SeqCst));
+        }
+        horizon
+    }
 }
 
 /// Configures and builds an [`Stm`].
 pub struct StmBuilder {
     algo: AlgorithmKind,
     heap_words: usize,
+    heap_max_words: Option<usize>,
     max_threads: usize,
     profile: bool,
     cm_policy: policy::CmPolicy,
@@ -243,9 +261,20 @@ pub struct StmBuilder {
 }
 
 impl StmBuilder {
-    /// Size of the transactional heap in 64-bit words (default `1 << 20`).
+    /// *Initial* size of the transactional heap in 64-bit words (default
+    /// `1 << 20`). The heap grows segment-by-segment past this on demand;
+    /// it is a pre-materialization hint, not a capacity limit (see
+    /// [`StmBuilder::heap_max_words`]).
     pub fn heap_words(mut self, words: usize) -> Self {
         self.heap_words = words;
+        self
+    }
+
+    /// Hard capacity ceiling in words (default: as far as the segment
+    /// table and 32-bit handles reach). Allocation past the ceiling
+    /// panics; mainly for tests that exercise true exhaustion.
+    pub fn heap_max_words(mut self, words: usize) -> Self {
+        self.heap_max_words = Some(words);
         self
     }
 
@@ -285,7 +314,7 @@ impl StmBuilder {
         let invalidators = self.algo.invalidators();
         let ring_len = self.algo.steps_ahead() + 1;
         let inner = Arc::new(StmInner {
-            heap: Heap::new(self.heap_words),
+            heap: Heap::with_limits(self.heap_words, self.heap_max_words),
             registry: Registry::new(self.max_threads),
             algo: self.algo,
             timestamp: CachePadded::new(AtomicU64::new(0)),
@@ -363,6 +392,7 @@ impl Stm {
         StmBuilder {
             algo,
             heap_words: 1 << 20,
+            heap_max_words: None,
             max_threads: 64,
             profile: false,
             cm_policy: policy::CmPolicy::CommitterWins,
@@ -431,9 +461,16 @@ impl Stm {
         self.inner.timestamp.load(Ordering::SeqCst)
     }
 
-    /// Words allocated from the heap so far.
+    /// Words allocated from the heap's bump frontier so far (the arena's
+    /// peak footprint; recycled allocations do not advance it).
     pub fn heap_allocated(&self) -> usize {
         self.inner.heap.allocated()
+    }
+
+    /// Snapshot of the heap's allocation telemetry: words allocated /
+    /// freed / recycled, live segments and reserved backing memory.
+    pub fn heap_stats(&self) -> HeapStats {
+        self.inner.heap.stats()
     }
 
     /// Snapshot of the server-side scan/batch counters (slots visited per

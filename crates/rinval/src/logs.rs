@@ -141,6 +141,41 @@ impl WriteSet {
     }
 }
 
+/// The allocation log of a transaction attempt: speculative allocations
+/// (surrendered back to the thread's heap cache on abort — they were never
+/// published) and pending frees (retired under a fresh reclamation-era
+/// stamp on commit, dropped on abort). Entries are `(address, length)`
+/// block descriptors.
+///
+/// Unlike the write-set, this log needs no lookup structure: it is only
+/// appended to during the attempt and drained wholesale at its end (see
+/// `HeapCache::commit` / `HeapCache::abort` in the heap module).
+#[derive(Debug, Default)]
+pub struct AllocLog {
+    /// Blocks obtained by [`crate::Txn::alloc`] during this attempt.
+    pub(crate) allocs: Vec<(u32, u32)>,
+    /// Blocks passed to [`crate::Txn::free`] during this attempt.
+    pub(crate) frees: Vec<(u32, u32)>,
+}
+
+impl AllocLog {
+    /// An empty allocation log.
+    pub fn new() -> AllocLog {
+        AllocLog::default()
+    }
+
+    /// True if the attempt neither allocated nor freed.
+    pub fn is_empty(&self) -> bool {
+        self.allocs.is_empty() && self.frees.is_empty()
+    }
+
+    /// Clears both halves for the next attempt, keeping capacity.
+    pub fn clear(&mut self) {
+        self.allocs.clear();
+        self.frees.clear();
+    }
+}
+
 /// NOrec's value-based read-set: `(address, value-seen)` pairs, revalidated
 /// by re-reading memory and comparing values (paper §II: "incremental
 /// validation ... quadratic function of the read-set size").

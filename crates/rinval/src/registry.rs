@@ -74,6 +74,13 @@ pub struct TxSlot {
     /// [`REQ_IDLE`] / [`REQ_PENDING`] / [`REQ_COMMITTED`] / [`REQ_ABORTED`].
     /// The only word a committing RInval client spins on.
     pub request_state: AtomicU32,
+    /// The heap's reclamation era observed when the slot's current
+    /// transaction began, or `u64::MAX` while no transaction runs. Every
+    /// algorithm pins this at begin (before its first shared read) and
+    /// resets it at end; the minimum over all slots is the reclamation
+    /// horizon: a retired block stamped `R` may be recycled only once
+    /// every in-flight transaction's `start_era >= R` (DESIGN.md §9).
+    pub start_era: AtomicU64,
     /// Write signature of the published commit request.
     pub req_write_bf: AtomicBloom,
     /// Write-set of the published request. Valid from the `Release` store of
@@ -90,6 +97,7 @@ impl Default for TxSlot {
             tx_status: AtomicU32::new(TX_IDLE),
             epoch: AtomicU64::new(0),
             read_bf: AtomicBloom::new(),
+            start_era: AtomicU64::new(u64::MAX),
             request_state: AtomicU32::new(REQ_IDLE),
             req_write_bf: AtomicBloom::new(),
             req_ws_ptr: AtomicPtr::new(std::ptr::null_mut()),
@@ -172,27 +180,76 @@ impl Registry {
         debug_assert!(idx < self.slots.len());
         self.slots[idx].tx_status.store(TX_IDLE, Ordering::SeqCst);
         self.slots[idx].request_state.store(REQ_IDLE, Ordering::SeqCst);
+        self.slots[idx].start_era.store(u64::MAX, Ordering::SeqCst);
         self.slots[idx].read_bf.owner_clear();
         self.pending.clear(idx);
         self.live.clear(idx);
         self.free.lock().unwrap().push(idx);
     }
 
-    /// Owner-side transaction begin for `idx`: publishes the slot in the
+    /// Owner-side transaction begin for `idx`: records the reclamation
+    /// `era` the transaction starts in, then publishes the slot in the
     /// `live` map *before* its status flips to `TX_ALIVE` (set-then-alive;
-    /// see the module docs for why the order matters).
+    /// see the module docs for why the order matters). The era store comes
+    /// first so a horizon scanner that sees the live bit also sees an era
+    /// at most the transaction's true start era — scanning can only
+    /// under-approximate the horizon, never overshoot it.
     #[inline]
-    pub fn begin(&self, idx: usize) {
+    pub fn begin(&self, idx: usize, era: u64) {
+        self.slots[idx].start_era.store(era, Ordering::SeqCst);
         self.live.set(idx);
         self.slots[idx].begin();
     }
 
+    /// Reclamation-horizon pin for algorithms outside the invalidation
+    /// family. They never appear in the `live` map (nobody scans their
+    /// signatures), but any transaction holding handles must still pin the
+    /// horizon — one plain `Release` store to the thread's own
+    /// cache-padded slot, issued before the algorithm's first snapshot
+    /// read, so the fast algorithms' begin stays fence-free.
+    ///
+    /// A `Release` pin leaves a window where a horizon scan misses a
+    /// just-begun transaction (the store is not yet visible). That is safe
+    /// for the algorithms that use this entry point (coarse / TML /
+    /// NOrec): recycling a block implies its freeing transaction committed
+    /// — bumping the global timestamp — after the missed transaction's
+    /// snapshot, and those protocols revalidate against the timestamp
+    /// *before returning any read value*, so a read that could observe
+    /// recycled contents aborts instead (DESIGN.md §9). TL2 cannot make
+    /// that argument (recycling rewrites words without touching their
+    /// stripe versions) and uses [`Registry::pin_era_fenced`].
+    #[inline]
+    pub fn pin_era(&self, idx: usize, era: u64) {
+        self.slots[idx].start_era.store(era, Ordering::Release);
+    }
+
+    /// [`Registry::pin_era`] with a full `SeqCst` fence: the pin is
+    /// globally visible before the transaction's first read *executes*, so
+    /// a horizon scan can never miss an in-flight transaction. Required by
+    /// TL2, whose per-stripe versions do not cover non-transactional
+    /// recycling writes, so a zombie read of a recycled block would return
+    /// inconsistent data rather than abort.
+    #[inline]
+    pub fn pin_era_fenced(&self, idx: usize, era: u64) {
+        self.slots[idx].start_era.store(era, Ordering::SeqCst);
+    }
+
+    /// Clears the horizon pin at transaction end (commit or abort). The
+    /// `Release` store keeps every read of the ending transaction ordered
+    /// before the slot reads as idle.
+    #[inline]
+    pub fn unpin_era(&self, idx: usize) {
+        self.slots[idx].start_era.store(u64::MAX, Ordering::Release);
+    }
+
     /// Owner-side transaction end for `idx`: withdraws the slot from the
-    /// `live` map *after* its status returns to `TX_IDLE`.
+    /// `live` map *after* its status returns to `TX_IDLE`, then clears the
+    /// horizon pin.
     #[inline]
     pub fn end(&self, idx: usize) {
         self.slots[idx].end();
         self.live.clear(idx);
+        self.unpin_era(idx);
     }
 
     /// The pending-request summary map (bit per slot with a published
@@ -284,7 +341,7 @@ mod tests {
     fn release_clears_read_signature_and_summary_bits() {
         let reg = Registry::new(2);
         let idx = reg.claim().unwrap();
-        reg.begin(idx);
+        reg.begin(idx, 0);
         reg.slot(idx).read_bf.owner_insert(42);
         reg.pending().set(idx);
         reg.release(idx);
@@ -300,7 +357,7 @@ mod tests {
     fn begin_end_maintain_live_map() {
         let reg = Registry::new(3);
         assert!(!reg.live().any_set());
-        reg.begin(1);
+        reg.begin(1, 0);
         assert!(reg.live().get(1));
         assert_eq!(reg.live().iter_set_bits().collect::<Vec<_>>(), vec![1]);
         assert!(reg.slot(1).is_live());
@@ -314,7 +371,7 @@ mod tests {
         // The safety-critical direction: whenever tx_status != IDLE the
         // live bit must already be set (set-then-alive / idle-then-clear).
         let reg = Registry::new(1);
-        reg.begin(0);
+        reg.begin(0, 0);
         assert!(reg.slot(0).is_live() && reg.live().get(0));
         reg.slot(0)
             .tx_status

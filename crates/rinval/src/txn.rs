@@ -8,8 +8,8 @@
 use crate::algo;
 use crate::bloom::Bloom;
 use crate::cm::ContentionManager;
-use crate::heap::Handle;
-use crate::logs::{ValueReadSet, WriteSet};
+use crate::heap::{Handle, HeapCache};
+use crate::logs::{AllocLog, ValueReadSet, WriteSet};
 use crate::stats::{PhaseStats, Probe};
 use crate::{Aborted, AlgorithmKind, StmInner, TxResult};
 
@@ -25,6 +25,8 @@ pub struct ThreadHandle<'a> {
     rs: ValueReadSet,
     ws: WriteSet,
     wbf: Bloom,
+    alog: AllocLog,
+    cache: HeapCache,
     stats: PhaseStats,
 }
 
@@ -37,6 +39,11 @@ impl<'a> ThreadHandle<'a> {
             rs: ValueReadSet::new(),
             ws: WriteSet::new(),
             wbf: Bloom::new(),
+            alog: AllocLog::new(),
+            // Seed the era cache from the live clock so the thread's first
+            // transactions don't pin the horizon at 0 and block their own
+            // recycling (one shared read per thread lifetime).
+            cache: HeapCache::new_at(stm.heap.current_era()),
             stats: PhaseStats::default(),
         }
     }
@@ -93,6 +100,7 @@ impl<'a> ThreadHandle<'a> {
         self.rs.clear();
         self.ws.clear();
         self.wbf.clear();
+        self.alog.clear();
 
         let mut tx = Txn {
             stm: self.stm,
@@ -102,6 +110,8 @@ impl<'a> ThreadHandle<'a> {
             rs: &mut self.rs,
             ws: &mut self.ws,
             wbf: &mut self.wbf,
+            alog: &mut self.alog,
+            cache: &mut self.cache,
             stats: &mut self.stats,
             profile,
         };
@@ -111,6 +121,11 @@ impl<'a> ThreadHandle<'a> {
         match outcome {
             Ok(v) => {
                 algo::cleanup_commit(&mut tx);
+                // The era stamp for this attempt's frees is taken here,
+                // strictly after the commit is fully visible (under RInval
+                // the server has already answered COMMITTED, so its
+                // write-back is done).
+                self.cache.commit(&self.stm.heap, &mut self.alog);
                 self.stats.commits += 1;
                 p_total.stop(&mut self.stats.total_tx);
                 self.cm.on_commit();
@@ -119,6 +134,8 @@ impl<'a> ThreadHandle<'a> {
             Err(Aborted) => {
                 let p_abort = Probe::start(profile);
                 algo::cleanup_abort(&mut tx);
+                // Surrender speculative allocations; drop pending frees.
+                self.cache.abort(&mut self.alog);
                 self.stats.aborts += 1;
                 self.cm.on_abort();
                 p_abort.stop(&mut self.stats.abort);
@@ -131,6 +148,9 @@ impl<'a> ThreadHandle<'a> {
 
 impl Drop for ThreadHandle<'_> {
     fn drop(&mut self) {
+        // Surrender the thread's free blocks and still-maturing retirees
+        // to the heap's shared pool so other threads can recycle them.
+        self.stm.heap.pool_flush(&mut self.cache);
         self.stm.registry.release(self.slot_idx);
     }
 }
@@ -157,6 +177,10 @@ pub struct Txn<'t> {
     pub(crate) ws: &'t mut WriteSet,
     /// Private write signature, published at commit.
     pub(crate) wbf: &'t mut Bloom,
+    /// This attempt's speculative allocations and pending frees.
+    pub(crate) alog: &'t mut AllocLog,
+    /// The owning thread's heap cache (free bins + retire list).
+    pub(crate) cache: &'t mut HeapCache,
     pub(crate) stats: &'t mut PhaseStats,
     pub(crate) profile: bool,
 }
@@ -213,13 +237,42 @@ impl Txn<'_> {
     ///
     /// The record is private until a pointer to it is published through a
     /// transactional [`Txn::write`], so it may be initialized with
-    /// [`Txn::init`] without logging. If the transaction aborts the words
-    /// leak (arena allocation; see `heap` module docs).
+    /// [`Txn::init`] without logging. The allocation is speculative: if
+    /// this attempt aborts, the words are surrendered back to the thread's
+    /// heap cache for reuse (no leak). Blocks come from the thread's free
+    /// bins (recycled frees whose reclamation horizon has passed) before
+    /// the heap's growable bump frontier is touched.
     pub fn alloc(&mut self, n: usize) -> TxResult<Handle> {
-        match self.stm.heap.alloc(n) {
-            Some(h) => Ok(h),
+        if n == 0 {
+            return Ok(Handle::NULL);
+        }
+        let stm = self.stm;
+        match self.cache.alloc(&stm.heap, || stm.reclaim_horizon(), n) {
+            Some(h) => {
+                self.alog.allocs.push((h.addr(), n as u32));
+                Ok(h)
+            }
             None => panic!("rinval heap exhausted inside transaction"),
         }
+    }
+
+    /// Transactionally frees the `n`-word record at `h` (no-op for NULL).
+    ///
+    /// The free takes effect only if this attempt commits; on abort it is
+    /// discarded. The caller must have unlinked every transactionally
+    /// reachable pointer to the record *in this same transaction* (the
+    /// usual `remove`-then-`free` pattern), so that after commit no new
+    /// transaction can reach it. The words are recycled only once the
+    /// reclamation horizon guarantees no in-flight reader can still
+    /// observe them (see the `heap` module docs); retaining the handle
+    /// across transactions after the free commits is a logic error, just
+    /// like a dangling pointer.
+    pub fn free(&mut self, h: Handle, n: usize) -> TxResult<()> {
+        if h.is_null() || n == 0 {
+            return Ok(());
+        }
+        self.alog.frees.push((h.addr(), n as u32));
+        Ok(())
     }
 
     /// Initializes a field of a freshly allocated, still-private record

@@ -1,0 +1,225 @@
+//! Reclamation-safety stress tests for the transactional allocation
+//! lifecycle, run under every [`AlgorithmKind`].
+//!
+//! Properties exercised:
+//!
+//! * **No double-handout** — an address returned by [`rinval::Txn::alloc`]
+//!   is never handed out again while its current holder has not committed
+//!   a [`rinval::Txn::free`] for it. Checked with a global held-address
+//!   set, in the spirit of `tests/bitmaps.rs`'s cross-thread probes.
+//! * **No premature-reuse corruption** — a held block's contents (a tag
+//!   pair written at handout) are re-read transactionally before the free;
+//!   any recycling of a live block would break the pair.
+//! * **Abort-path reclaim** — speculative allocations of aborted attempts
+//!   are surrendered, so abort churn does not grow the arena.
+//! * **Steady-state churn is flat** — single-threaded alloc/free cycling
+//!   reuses one block forever instead of advancing the bump frontier.
+
+use rinval::{AlgorithmKind, Stm, TxResult};
+use std::collections::HashSet;
+use std::sync::Mutex;
+
+fn all_kinds() -> [AlgorithmKind; 8] {
+    [
+        AlgorithmKind::CoarseLock,
+        AlgorithmKind::Tml,
+        AlgorithmKind::NOrec,
+        AlgorithmKind::Tl2,
+        AlgorithmKind::InvalStm,
+        AlgorithmKind::RInvalV1,
+        AlgorithmKind::RInvalV2 { invalidators: 2 },
+        AlgorithmKind::RInvalV3 {
+            invalidators: 2,
+            steps_ahead: 2,
+        },
+    ]
+}
+
+/// Concurrent alloc/hold/verify/free churn. Each handed-out block carries a
+/// unique tag pair; a double-handout trips the held-set insert, a premature
+/// recycle (the zeroing on re-handout, or another holder's tag) trips the
+/// transactional pair check.
+#[test]
+fn concurrent_churn_no_double_handout_no_corruption() {
+    const THREADS: u64 = 3;
+    const ITERS: u64 = 120;
+    const HOLD: usize = 4;
+    for algo in all_kinds() {
+        let stm = Stm::builder(algo)
+            .heap_words(1 << 10)
+            .max_threads(16)
+            .build();
+        let held: Mutex<HashSet<u32>> = Mutex::new(HashSet::new());
+        let stm_ref = &stm;
+        let held_ref = &held;
+
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                s.spawn(move || {
+                    let mut th = stm_ref.register_thread();
+                    let mut holding: Vec<(rinval::Handle, u64)> = Vec::new();
+                    for i in 0..ITERS {
+                        let tag = (t << 32) | i | (1 << 63);
+                        let h = th.run(|tx| {
+                            let h = tx.alloc(2)?;
+                            tx.write(h.field(0), tag)?;
+                            tx.write(h.field(1), tag ^ 0xABCD)?;
+                            Ok(h)
+                        });
+                        assert!(
+                            held_ref.lock().unwrap().insert(h.to_word() as u32),
+                            "{algo:?}: address {h:?} handed out while still held"
+                        );
+                        holding.push((h, tag));
+                        if holding.len() >= HOLD {
+                            let (old, old_tag) = holding.remove(0);
+                            // Withdraw from the held set before the free can
+                            // commit (a recycle may legally follow commit
+                            // immediately).
+                            held_ref.lock().unwrap().remove(&(old.to_word() as u32));
+                            th.run(|tx| {
+                                let a = tx.read(old.field(0))?;
+                                let b = tx.read(old.field(1))?;
+                                assert_eq!(
+                                    (a, b ^ 0xABCD),
+                                    (old_tag, old_tag),
+                                    "{algo:?}: held block corrupted (premature reuse)"
+                                );
+                                tx.free(old, 2)
+                            });
+                        }
+                    }
+                    for (old, _) in holding {
+                        held_ref.lock().unwrap().remove(&(old.to_word() as u32));
+                        th.run(|tx| tx.free(old, 2));
+                    }
+                });
+            }
+        });
+
+        let st = stm.heap_stats();
+        assert_eq!(
+            st.freed_words,
+            THREADS * ITERS * 2,
+            "{algo:?}: lost frees"
+        );
+        assert!(
+            st.recycled_words > 0,
+            "{algo:?}: no recycling under sustained churn"
+        );
+        assert!(
+            st.allocated_words < THREADS * ITERS * 2,
+            "{algo:?}: churn advanced the bump frontier as if nothing were \
+             recycled ({} words)",
+            st.allocated_words
+        );
+    }
+}
+
+/// Single-threaded alloc→free cycling must reach a steady state: after the
+/// first block, every take recycles it (the freeing thread's own next
+/// transaction always starts past the free's era stamp).
+#[test]
+fn steady_state_churn_does_not_grow_arena() {
+    for algo in all_kinds() {
+        let stm = Stm::builder(algo).heap_words(1 << 10).build();
+        let mut th = stm.register_thread();
+        for i in 0..200u64 {
+            let h = th.run(|tx| {
+                let h = tx.alloc(3)?;
+                tx.write(h, i)?;
+                Ok(h)
+            });
+            th.run(|tx| {
+                let v = tx.read(h)?;
+                assert_eq!(v, i, "{algo:?}: block lost its value");
+                tx.free(h, 3)
+            });
+        }
+        let st = stm.heap_stats();
+        assert!(
+            st.allocated_words <= 3,
+            "{algo:?}: steady-state churn grew the arena to {} words",
+            st.allocated_words
+        );
+        assert_eq!(st.freed_words, 200 * 3, "{algo:?}");
+        assert_eq!(st.recycled_words, 199 * 3, "{algo:?}");
+    }
+}
+
+/// Aborted attempts surrender their speculative allocations; unbounded
+/// abort churn must not consume unbounded arena (the old bump heap leaked
+/// every aborted allocation).
+#[test]
+fn abort_churn_does_not_leak() {
+    for algo in all_kinds() {
+        let stm = Stm::builder(algo).heap_words(1 << 10).build();
+        let mut th = stm.register_thread();
+        for _ in 0..100 {
+            let r: TxResult<()> = th.try_run(1, |tx| {
+                let h = tx.alloc(4)?;
+                tx.write(h, 7)?;
+                tx.user_abort()
+            });
+            assert!(r.is_err());
+        }
+        let st = stm.heap_stats();
+        assert!(
+            st.allocated_words <= 4,
+            "{algo:?}: abort churn leaked arena words ({} allocated)",
+            st.allocated_words
+        );
+        assert_eq!(st.freed_words, 0, "{algo:?}: aborted attempts freed");
+    }
+}
+
+/// A free whose transaction aborts must not retire the block: the value
+/// survives and the block is never handed out again while reachable.
+#[test]
+fn aborted_free_is_discarded() {
+    for algo in all_kinds() {
+        let stm = Stm::builder(algo).heap_words(1 << 10).build();
+        let mut th = stm.register_thread();
+        let h = th.run(|tx| {
+            let h = tx.alloc(2)?;
+            tx.write(h, 42)?;
+            Ok(h)
+        });
+        let r: TxResult<()> = th.try_run(1, |tx| {
+            tx.free(h, 2)?;
+            tx.user_abort()
+        });
+        assert!(r.is_err());
+        let fresh = th.run(|tx| tx.alloc(2));
+        assert_ne!(fresh, h, "{algo:?}: aborted free recycled a live block");
+        assert_eq!(stm.peek(h), 42, "{algo:?}");
+        assert_eq!(stm.heap_stats().freed_words, 0, "{algo:?}");
+    }
+}
+
+/// The growable heap keeps allocating far past its initial arena under
+/// every algorithm (no free calls at all — pure growth).
+#[test]
+fn arena_grows_under_allocation_pressure() {
+    for algo in all_kinds() {
+        let stm = Stm::builder(algo).heap_words(256).build();
+        let mut th = stm.register_thread();
+        let mut handles = Vec::new();
+        for i in 0..500u64 {
+            let h = th.run(|tx| {
+                let h = tx.alloc(4)?;
+                tx.write(h, i)?;
+                Ok(h)
+            });
+            handles.push((h, i));
+        }
+        for (h, i) in handles {
+            assert_eq!(stm.peek(h), i, "{algo:?}: value lost across growth");
+        }
+        let st = stm.heap_stats();
+        assert!(
+            st.allocated_words >= 2000 && st.live_segments >= 2,
+            "{algo:?}: expected multi-segment growth, got {st:?}"
+        );
+    }
+}

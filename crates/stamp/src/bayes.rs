@@ -150,6 +150,7 @@ fn run_on(
         stats: merged,
         threads,
         checksum: adj.popcount(stm),
+        heap: stm.heap_stats(),
     }
 }
 

@@ -44,13 +44,18 @@ fn run_one(app: App, algo: AlgorithmKind, threads: usize) {
         Err(ref e) => e.as_str(),
     };
     println!(
-        "{:>10} {:>10} t={threads} wall={:>8.1}ms commits={:>7} aborts={:>6} rate={:>5.1}% [{status}]",
+        "{:>10} {:>10} t={threads} wall={:>8.1}ms commits={:>7} aborts={:>6} rate={:>5.1}% \
+         heap[peak={}w freed={}w recycled={}w segs={}] [{status}]",
         app.name(),
         algo.name(),
         report.wall.as_secs_f64() * 1000.0,
         report.stats.commits,
         report.stats.aborts,
         report.stats.abort_rate() * 100.0,
+        report.heap_peak_words(),
+        report.heap.freed_words,
+        report.heap.recycled_words,
+        report.heap.live_segments,
     );
     if verdict.is_err() {
         std::process::exit(2);

@@ -189,6 +189,7 @@ pub fn run(stm: &Stm, threads: usize, cfg: &Config) -> RunReport {
         stats: merged,
         threads,
         checksum: unique.snapshot(stm).len() as u64,
+        heap: stm.heap_stats(),
     }
 }
 

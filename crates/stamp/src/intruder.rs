@@ -180,6 +180,7 @@ pub fn run(stm: &Stm, threads: usize, cfg: &Config) -> RunReport {
         stats: merged,
         threads,
         checksum: attacks.load(Ordering::Relaxed),
+        heap: stm.heap_stats(),
     }
 }
 

@@ -192,6 +192,7 @@ pub fn run(stm: &Stm, threads: usize, cfg: &Config) -> RunReport {
         stats: merged,
         threads,
         checksum: correct,
+        heap: stm.heap_stats(),
     }
 }
 

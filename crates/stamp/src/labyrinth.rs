@@ -166,6 +166,7 @@ fn route_all(
         stats: merged,
         threads,
         checksum: paths.len() as u64,
+        heap: stm.heap_stats(),
     };
     (report, paths)
 }

@@ -30,7 +30,7 @@ pub mod rbtree_bench;
 pub mod ssca2;
 pub mod vacation;
 
-use rinval::PhaseStats;
+use rinval::{HeapStats, PhaseStats};
 use std::time::Duration;
 
 /// Outcome of one application run.
@@ -44,12 +44,21 @@ pub struct RunReport {
     pub threads: usize,
     /// Application-defined result digest (used by verifiers).
     pub checksum: u64,
+    /// Heap telemetry sampled at the end of the run: peak arena footprint
+    /// (`allocated_words`), free/recycle volume and live segments.
+    pub heap: HeapStats,
 }
 
 impl RunReport {
     /// Committed transactions per second over the parallel phase.
     pub fn throughput(&self) -> f64 {
         self.stats.commits as f64 / self.wall.as_secs_f64().max(f64::MIN_POSITIVE)
+    }
+
+    /// Peak heap footprint in words (bump-frontier high-water mark; node
+    /// recycling keeps this flat under churn).
+    pub fn heap_peak_words(&self) -> u64 {
+        self.heap.allocated_words
     }
 }
 
@@ -163,6 +172,7 @@ impl App {
                             stats: PhaseStats::default(),
                             threads,
                             checksum: 0,
+                            heap: stm.heap_stats(),
                         },
                         Err(e),
                     ),
@@ -208,6 +218,7 @@ impl App {
                             stats: PhaseStats::default(),
                             threads,
                             checksum: 0,
+                            heap: stm.heap_stats(),
                         },
                         Err(e),
                     ),
@@ -228,6 +239,7 @@ impl App {
                             stats: PhaseStats::default(),
                             threads,
                             checksum: 0,
+                            heap: stm.heap_stats(),
                         },
                         Err(e),
                     ),
@@ -352,6 +364,7 @@ mod tests {
             },
             threads: 1,
             checksum: 0,
+            heap: Default::default(),
         };
         assert!((r.throughput() - 50.0).abs() < 1e-9);
     }

@@ -109,6 +109,7 @@ pub fn run_on(stm: &Stm, tree: RbTree, threads: usize, cfg: &Config) -> RunRepor
         stats: merged,
         threads,
         checksum,
+        heap: stm.heap_stats(),
     }
 }
 

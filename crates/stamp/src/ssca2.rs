@@ -106,6 +106,7 @@ pub fn run(stm: &Stm, threads: usize, cfg: &Config) -> RunReport {
         stats: merged,
         threads,
         checksum: distinct,
+        heap: stm.heap_stats(),
     }
 }
 

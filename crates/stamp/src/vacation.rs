@@ -257,6 +257,7 @@ pub fn run_on(stm: &Stm, db: Database, threads: usize, cfg: &Config) -> RunRepor
         stats: merged,
         threads,
         checksum,
+        heap: stm.heap_stats(),
     }
 }
 

@@ -1,66 +1,48 @@
-//! A transactional free-list for node recycling.
+//! Node allocation for transactional structures, atop the STM's native
+//! allocation lifecycle.
 //!
-//! The STM heap is a bump-allocated arena without general reclamation, so
-//! long-running structures recycle their own nodes: `remove` pushes the
-//! node onto the structure's free-list *inside the same transaction*, and
-//! later inserts pop from it. Because the push/pop are transactional, a
-//! node is never handed out twice and never resurrected by an aborted
-//! transaction.
+//! Historically the STM heap was a bump arena without reclamation, so
+//! every structure carried an intrusive transactional free-list and
+//! recycled its own nodes. The heap now has a first-class lifecycle —
+//! [`Txn::alloc`] is surrendered on abort and [`Txn::free`] retires
+//! blocks under the reclamation horizon — so this type is a thin typed
+//! facade over it: `take` allocates, `put` frees. The old safety
+//! properties (a node is never handed out twice; an aborted transaction
+//! neither leaks nor resurrects a node) are now provided by the STM
+//! itself, for every structure, with no shared list head to conflict on.
 
 use rinval::{Handle, Stm, TxResult, Txn};
 
-/// Intrusive LIFO of fixed-size free nodes. The first word of a freed node
-/// is reused as the `next` link, so nodes must be at least one word.
+/// Allocates and frees fixed-size nodes through the STM's transactional
+/// allocation lifecycle.
 #[derive(Clone, Copy, Debug)]
 pub struct FreeList {
-    /// Cell holding the head-of-list node handle (0 = empty).
-    head: Handle,
-    /// Size in words of the nodes this list recycles.
+    /// Size in words of the nodes this list hands out.
     node_words: u32,
 }
 
 impl FreeList {
-    /// Creates an empty free-list for nodes of `node_words` words.
-    pub fn new(stm: &Stm, node_words: u32) -> FreeList {
+    /// Creates a node allocator for nodes of `node_words` words.
+    ///
+    /// The `Stm` argument is unused (kept for call-site compatibility with
+    /// the free-list era, when the list head lived in the heap).
+    pub fn new(_stm: &Stm, node_words: u32) -> FreeList {
         assert!(node_words >= 1);
-        FreeList {
-            head: stm.alloc_init(&[0]),
-            node_words,
-        }
+        FreeList { node_words }
     }
 
-    /// Returns a node: recycled if available, freshly allocated otherwise.
-    /// The node's contents are arbitrary; callers must initialize every
-    /// field they later read.
+    /// Returns a zeroed node: recycled from the thread's heap cache when a
+    /// matured freed block of this size is available, freshly allocated
+    /// otherwise. Unlike the old intrusive list, contents are guaranteed
+    /// zero (the heap's `calloc` contract holds for recycled blocks too).
     pub fn take(&self, tx: &mut Txn<'_>) -> TxResult<Handle> {
-        let head = tx.read_handle(self.head)?;
-        if head.is_null() {
-            tx.alloc(self.node_words as usize)
-        } else {
-            let next = tx.read(head.field(0))?;
-            tx.write(self.head, next)?;
-            Ok(head)
-        }
+        tx.alloc(self.node_words as usize)
     }
 
-    /// Recycles `node` (which must have come from [`FreeList::take`] on a
-    /// list with the same `node_words`, and be unreachable after this
-    /// transaction commits).
+    /// Frees `node` (which must be `node_words` words and unreachable once
+    /// this transaction commits). No-op if the transaction aborts.
     pub fn put(&self, tx: &mut Txn<'_>, node: Handle) -> TxResult<()> {
-        let head = tx.read(self.head)?;
-        tx.write(node.field(0), head)?;
-        tx.write(self.head, node.to_word())
-    }
-
-    /// Number of nodes currently parked (walks the list; quiescent only).
-    pub fn parked(&self, stm: &Stm) -> usize {
-        let mut n = 0;
-        let mut cur = Handle::from_word(stm.peek(self.head));
-        while !cur.is_null() {
-            n += 1;
-            cur = Handle::from_word(stm.peek(cur.field(0)));
-        }
-        n
+        tx.free(node, self.node_words as usize)
     }
 }
 
@@ -77,47 +59,81 @@ mod tests {
 
         let a = th.run(|tx| fl.take(tx));
         assert!(!a.is_null());
-        assert_eq!(fl.parked(&stm), 0);
-
         th.run(|tx| fl.put(tx, a));
-        assert_eq!(fl.parked(&stm), 1);
 
+        // No other thread is live, so the freed block matures immediately
+        // and the next take of the same size must recycle it.
         let b = th.run(|tx| fl.take(tx));
-        assert_eq!(b, a, "recycled node must be reused");
-        assert_eq!(fl.parked(&stm), 0);
+        assert_eq!(b, a, "freed node must be recycled");
+        let st = stm.heap_stats();
+        assert_eq!(st.freed_words, 3);
+        assert_eq!(st.recycled_words, 3);
     }
 
     #[test]
-    fn lifo_order() {
+    fn recycled_node_is_zeroed() {
         let stm = Stm::builder(AlgorithmKind::NOrec).heap_words(1 << 10).build();
         let fl = FreeList::new(&stm, 2);
         let mut th = stm.register_thread();
-        let (a, b) = th.run(|tx| Ok((fl.take(tx)?, fl.take(tx)?)));
-        th.run(|tx| {
-            fl.put(tx, a)?;
-            fl.put(tx, b)
+        let a = th.run(|tx| {
+            let n = fl.take(tx)?;
+            tx.init(n.field(0), 11);
+            tx.init(n.field(1), 22);
+            Ok(n)
         });
-        assert_eq!(fl.parked(&stm), 2);
-        let first = th.run(|tx| fl.take(tx));
-        assert_eq!(first, b);
-        let second = th.run(|tx| fl.take(tx));
-        assert_eq!(second, a);
+        th.run(|tx| fl.put(tx, a));
+        let b = th.run(|tx| fl.take(tx));
+        assert_eq!(b, a);
+        assert_eq!(stm.peek(b.field(0)), 0, "recycled node not zeroed");
+        assert_eq!(stm.peek(b.field(1)), 0, "recycled node not zeroed");
     }
 
     #[test]
-    fn aborted_take_does_not_leak_from_list() {
+    fn aborted_take_is_surrendered_not_leaked() {
         let stm = Stm::builder(AlgorithmKind::NOrec).heap_words(1 << 10).build();
         let fl = FreeList::new(&stm, 2);
         let mut th = stm.register_thread();
+        // Warm up one block so sizes match.
         let a = th.run(|tx| fl.take(tx));
         th.run(|tx| fl.put(tx, a));
-        // A transaction that takes the node but aborts must leave it parked.
+        let before = stm.heap_allocated();
+        // Aborted takes surrender their node; repeated churn must not grow
+        // the arena.
+        for _ in 0..50 {
+            let r: rinval::TxResult<()> = th.try_run(1, |tx| {
+                let _ = fl.take(tx)?;
+                tx.user_abort()
+            });
+            assert!(r.is_err());
+        }
+        assert_eq!(
+            stm.heap_allocated(),
+            before,
+            "aborted takes leaked arena words"
+        );
+    }
+
+    #[test]
+    fn aborted_put_does_not_free() {
+        let stm = Stm::builder(AlgorithmKind::NOrec).heap_words(1 << 10).build();
+        let fl = FreeList::new(&stm, 2);
+        let mut th = stm.register_thread();
+        let a = th.run(|tx| {
+            let n = fl.take(tx)?;
+            tx.init(n, 77);
+            Ok(n)
+        });
         let r: rinval::TxResult<()> = th.try_run(1, |tx| {
-            let _ = fl.take(tx)?;
+            fl.put(tx, a)?;
             tx.user_abort()
         });
         assert!(r.is_err());
-        assert_eq!(fl.parked(&stm), 1);
+        // The free was discarded with the abort: the node is still live and
+        // must not be handed out again.
+        let b = th.run(|tx| fl.take(tx));
+        assert_ne!(b, a, "aborted free still recycled the node");
+        assert_eq!(stm.peek(a), 77);
+        assert_eq!(stm.heap_stats().freed_words, 0);
     }
 
     #[test]

@@ -10,8 +10,11 @@
 //!
 //! All structures are handle-based and `Copy`: cloning a structure value
 //! aliases the same shared object, like copying a pointer in the C
-//! original. Memory comes from the STM's arena; removed nodes are recycled
-//! through a per-structure transactional [`free_list::FreeList`].
+//! original. Memory comes from the STM's growable heap through its
+//! transactional allocation lifecycle ([`rinval::Txn::alloc`] /
+//! [`rinval::Txn::free`] via the [`free_list::FreeList`] facade): removed
+//! nodes are freed in the removing transaction and recycled by the STM
+//! once its reclamation horizon passes.
 //!
 //! ```
 //! use rinval::{AlgorithmKind, Stm};
