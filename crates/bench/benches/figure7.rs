@@ -44,9 +44,10 @@ fn real_cross_check() {
         duration: Duration::from_millis(150),
         seed: 7,
     };
-    header(&bench::real_lineup().map(|a| a.name()));
+    let lineup = bench::real_lineup();
+    header(&bench::lineup_names(&lineup));
     for t in REAL_THREADS {
-        let vals: Vec<f64> = bench::real_lineup()
+        let vals: Vec<f64> = lineup
             .iter()
             .map(|&algo| {
                 let stm = Stm::builder(algo).heap_words(cfg.heap_words()).build();

@@ -51,15 +51,17 @@ fn real_cross_check() {
         "every run's output is checked (clustering, graph counts, attack \
          detection, path disjointness, conservation invariants)",
     );
-    println!(
-        "{:>10} {:>8} {:>10} {:>10} {:>10} {:>10} {:>12}",
-        "app", "threads", "norec", "invalstm", "rinval-v1", "rinval-v2", "heap-peak"
-    );
+    let lineup = bench::real_lineup();
+    print!("{:>10} {:>8}", "app", "threads");
+    for name in bench::lineup_names(&lineup) {
+        print!(" {:>10}", name);
+    }
+    println!(" {:>12}", "heap-peak");
     for app in App::ALL {
         for t in REAL_THREADS {
             print!("{:>10} {t:>8}", app.name());
             let mut peak_words = 0u64;
-            for algo in bench::real_lineup() {
+            for &algo in &lineup {
                 let stm = Stm::builder(algo)
                     .heap_words(app.default_heap_words())
                     .build();

@@ -1,14 +1,26 @@
-//! Criterion micro-benchmarks of the real implementation: the per-
-//! operation costs underlying the paper's §III critical-path analysis
-//! (read with validation, buffered write, commit by kind and algorithm).
+//! micro — per-operation costs of the real implementation underlying the
+//! paper's §III critical-path analysis (read with validation, buffered
+//! write, commit), plus the dispatch regression gate for the
+//! monomorphized engine layer.
 //!
-//! Sample sizes are kept small so `cargo bench` completes quickly on
-//! minimal hosts; Criterion still reports medians with confidence
-//! intervals.
+//! Hand-rolled timing (median of repeated rounds over fixed operation
+//! counts — no external benchmark harness, so the workspace builds
+//! hermetically). Two parts:
+//!
+//! 1. **Per-algorithm micro tables**: ns/op for an 8-word RMW
+//!    transaction, a 32-word read-only transaction, and a 4K-element
+//!    red-black-tree lookup.
+//! 2. **Dispatch gate**: the facade read hot path (one per-attempt
+//!    `AlgorithmKind` resolution, then op-table calls) must be no slower
+//!    than the seed's per-read enum dispatch, which is re-created here as
+//!    a `match` over eight `#[inline(never)]` arms around the same reads.
+//!    The bench exits non-zero if the monomorphized path regresses past
+//!    the tolerance, so the CI smoke step (`cargo bench --bench micro --
+//!    --test`) enforces it on every run; `--test` only shrinks the
+//!    operation counts.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rinval::{AlgorithmKind, Stm};
-use std::time::Duration;
+use rinval::{AlgorithmKind, Handle, Stm, TxResult, Txn};
+use std::time::Instant;
 use txds::RbTree;
 
 fn algos() -> Vec<AlgorithmKind> {
@@ -23,16 +35,37 @@ fn algos() -> Vec<AlgorithmKind> {
     ]
 }
 
-/// A read-modify-write transaction over 8 words (uncontended).
-fn bench_rmw_tx(c: &mut Criterion) {
-    let mut g = c.benchmark_group("rmw_tx_8words");
-    g.sample_size(20).measurement_time(Duration::from_millis(800));
+/// Best-of-`rounds` time for `ops` repetitions of `op`, in ns/op.
+/// Minimum (not mean) so background scheduling noise on shared CI hosts
+/// biases results high, never low.
+fn best_ns_per_op(rounds: usize, ops: u64, mut op: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..rounds {
+        let t0 = Instant::now();
+        for _ in 0..ops {
+            op();
+        }
+        best = best.min(t0.elapsed().as_secs_f64() * 1e9 / ops as f64);
+    }
+    best
+}
+
+fn table(title: &str, ops: u64, rows: Vec<(&'static str, f64)>) {
+    println!("\n{title} ({ops} ops/round, best of 5) [ns/op]");
+    for (name, ns) in rows {
+        println!("{name:>14} {ns:>10.1}");
+    }
+}
+
+fn rmw_tx(ops: u64) {
+    let mut rows = Vec::new();
     for algo in algos() {
         let stm = Stm::builder(algo).heap_words(1 << 10).build();
         let arr = stm.alloc(8);
         let mut th = stm.register_thread();
-        g.bench_with_input(BenchmarkId::from_parameter(algo.name()), &(), |b, _| {
-            b.iter(|| {
+        rows.push((
+            algo.name(),
+            best_ns_per_op(5, ops, || {
                 th.run(|tx| {
                     for i in 0..8u32 {
                         let v = tx.read(arr.field(i))?;
@@ -40,40 +73,36 @@ fn bench_rmw_tx(c: &mut Criterion) {
                     }
                     Ok(())
                 })
-            });
-        });
+            }),
+        ));
     }
-    g.finish();
+    table("rmw_tx_8words", ops, rows);
 }
 
-/// A read-only transaction over 32 words — the validation-cost probe.
-fn bench_read_only_tx(c: &mut Criterion) {
-    let mut g = c.benchmark_group("read_only_tx_32words");
-    g.sample_size(20).measurement_time(Duration::from_millis(800));
+fn read_only_tx(ops: u64) {
+    let mut rows = Vec::new();
     for algo in algos() {
         let stm = Stm::builder(algo).heap_words(1 << 10).build();
         let arr = stm.alloc(32);
         let mut th = stm.register_thread();
-        g.bench_with_input(BenchmarkId::from_parameter(algo.name()), &(), |b, _| {
-            b.iter(|| {
+        rows.push((
+            algo.name(),
+            best_ns_per_op(5, ops, || {
                 th.run(|tx| {
                     let mut acc = 0u64;
                     for i in 0..32u32 {
                         acc = acc.wrapping_add(tx.read(arr.field(i))?);
                     }
                     Ok(acc)
-                })
-            });
-        });
+                });
+            }),
+        ));
     }
-    g.finish();
+    table("read_only_tx_32words", ops, rows);
 }
 
-/// One red-black-tree lookup per transaction on a 4K-element tree — the
-/// paper's micro-benchmark unit of work.
-fn bench_rbtree_lookup(c: &mut Criterion) {
-    let mut g = c.benchmark_group("rbtree_lookup_4k");
-    g.sample_size(20).measurement_time(Duration::from_millis(800));
+fn rbtree_lookup(ops: u64) {
+    let mut rows = Vec::new();
     for algo in [
         AlgorithmKind::NOrec,
         AlgorithmKind::InvalStm,
@@ -89,15 +118,123 @@ fn bench_rbtree_lookup(c: &mut Criterion) {
         }
         let mut th = stm.register_thread();
         let mut key = 0u64;
-        g.bench_with_input(BenchmarkId::from_parameter(algo.name()), &(), |b, _| {
-            b.iter(|| {
+        rows.push((
+            algo.name(),
+            best_ns_per_op(5, ops, || {
                 key = (key + 37) % 8192;
-                th.run(|tx| tree.contains(tx, key))
-            });
-        });
+                th.run(|tx| tree.contains(tx, key));
+            }),
+        ));
     }
-    g.finish();
+    table("rbtree_lookup_4k", ops, rows);
 }
 
-criterion_group!(benches, bench_rmw_tx, bench_read_only_tx, bench_rbtree_lookup);
-criterion_main!(benches);
+// ---------------------------------------------------------------------
+// Dispatch gate: monomorphized facade reads vs. re-created enum dispatch.
+//
+// The seed resolved `AlgorithmKind` inside `Txn::read` on every access.
+// To keep that cost measurable after the refactor removed it, the eight
+// arms are reconstructed as distinct `#[inline(never)]` functions (so the
+// optimizer cannot collapse the match back into a single call) selected
+// by the same `match` the seed executed per read.
+
+macro_rules! dispatch_arm {
+    ($name:ident) => {
+        #[inline(never)]
+        fn $name(tx: &mut Txn<'_>, h: Handle) -> TxResult<u64> {
+            tx.read(h)
+        }
+    };
+}
+dispatch_arm!(arm_coarse);
+dispatch_arm!(arm_tml);
+dispatch_arm!(arm_norec);
+dispatch_arm!(arm_tl2);
+dispatch_arm!(arm_invalstm);
+dispatch_arm!(arm_rinval_v1);
+dispatch_arm!(arm_rinval_v2);
+dispatch_arm!(arm_rinval_v3);
+
+/// The seed's per-read dispatch shape: one kind branch per access.
+#[inline(always)]
+fn enum_dispatch_read(kind: AlgorithmKind, tx: &mut Txn<'_>, h: Handle) -> TxResult<u64> {
+    match kind {
+        AlgorithmKind::CoarseLock => arm_coarse(tx, h),
+        AlgorithmKind::Tml => arm_tml(tx, h),
+        AlgorithmKind::NOrec => arm_norec(tx, h),
+        AlgorithmKind::Tl2 => arm_tl2(tx, h),
+        AlgorithmKind::InvalStm => arm_invalstm(tx, h),
+        AlgorithmKind::RInvalV1 => arm_rinval_v1(tx, h),
+        AlgorithmKind::RInvalV2 { .. } => arm_rinval_v2(tx, h),
+        AlgorithmKind::RInvalV3 { .. } => arm_rinval_v3(tx, h),
+    }
+}
+
+/// Returns (monomorphized ns/read, enum-dispatch ns/read) for read-only
+/// transactions over 32 words under `algo`.
+fn dispatch_pair(algo: AlgorithmKind, ops: u64) -> (f64, f64) {
+    let stm = Stm::builder(algo).heap_words(1 << 10).build();
+    let arr = stm.alloc(32);
+    let mut th = stm.register_thread();
+    let mono = best_ns_per_op(5, ops, || {
+        th.run(|tx| {
+            let mut acc = 0u64;
+            for i in 0..32u32 {
+                acc = acc.wrapping_add(tx.read(arr.field(i))?);
+            }
+            Ok(acc)
+        });
+    });
+    let kind = stm.algorithm();
+    let enumed = best_ns_per_op(5, ops, || {
+        th.run(|tx| {
+            let mut acc = 0u64;
+            for i in 0..32u32 {
+                acc = acc.wrapping_add(enum_dispatch_read(kind, tx, arr.field(i))?);
+            }
+            Ok(acc)
+        });
+    });
+    (mono / 32.0, enumed / 32.0)
+}
+
+fn dispatch_gate(ops: u64) -> bool {
+    // Generous tolerance: both paths are a handful of ns, and debug-free
+    // release timing on a shared host still jitters a few percent.
+    const TOLERANCE: f64 = 1.25;
+    println!("\ndispatch gate: facade read vs. per-read enum dispatch [ns/read]");
+    println!(
+        "{:>14} {:>12} {:>12} {:>8}",
+        "algo", "monomorph", "enum-match", "ratio"
+    );
+    let mut ok = true;
+    for algo in [AlgorithmKind::NOrec, AlgorithmKind::InvalStm] {
+        let (mono, enumed) = dispatch_pair(algo, ops);
+        let ratio = mono / enumed;
+        println!("{:>14} {mono:>12.2} {enumed:>12.2} {ratio:>8.2}", algo.name());
+        if ratio > TOLERANCE {
+            eprintln!(
+                "FAIL: {}: monomorphized read path is {ratio:.2}x the enum-dispatch \
+                 path (tolerance {TOLERANCE})",
+                algo.name()
+            );
+            ok = false;
+        }
+    }
+    ok
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--test");
+    let (tx_ops, lookup_ops, gate_ops) = if smoke {
+        (2_000, 2_000, 6_000)
+    } else {
+        (20_000, 20_000, 60_000)
+    };
+    rmw_tx(tx_ops);
+    read_only_tx(tx_ops);
+    rbtree_lookup(lookup_ops);
+    if !dispatch_gate(gate_ops) {
+        std::process::exit(1);
+    }
+}

@@ -29,8 +29,29 @@ pub fn sim_lineup() -> [SimAlgorithm; 4] {
 }
 
 /// The same line-up as real-implementation kinds.
-pub fn real_lineup() -> [AlgorithmKind; 4] {
-    AlgorithmKind::paper_lineup()
+///
+/// Overridable via the `RINVAL_LINEUP` environment variable — a
+/// comma-separated list of [`AlgorithmKind::NAMES`] entries (with the
+/// optional `rinval-v2:<n>` / `rinval-v3:<n>:<k>` parameters), e.g.
+/// `RINVAL_LINEUP=tl2,norec,rinval-v2:8` — so the real cross-check layers
+/// can be pointed at any engine set without editing the harnesses.
+pub fn real_lineup() -> Vec<AlgorithmKind> {
+    match std::env::var("RINVAL_LINEUP") {
+        Ok(spec) if !spec.trim().is_empty() => spec
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse()
+                    .unwrap_or_else(|e| panic!("RINVAL_LINEUP: {e}"))
+            })
+            .collect(),
+        _ => AlgorithmKind::paper_lineup().to_vec(),
+    }
+}
+
+/// The display names of a line-up, for [`header`].
+pub fn lineup_names(lineup: &[AlgorithmKind]) -> Vec<&'static str> {
+    lineup.iter().map(|a| a.name()).collect()
 }
 
 /// Prints a table header: `threads` + one column per algorithm.
@@ -91,12 +112,20 @@ mod tests {
 
     #[test]
     fn lineups_align() {
+        // Compare against the paper default directly: real_lineup() honours
+        // RINVAL_LINEUP, which a caller's environment may set.
         let sim = sim_lineup();
-        let real = real_lineup();
+        let real = AlgorithmKind::paper_lineup();
         assert_eq!(sim.len(), real.len());
         for (s, r) in sim.iter().zip(real.iter()) {
             assert_eq!(s.name(), r.name(), "figure legends must match");
         }
+    }
+
+    #[test]
+    fn lineup_names_match_kinds() {
+        let names = lineup_names(&AlgorithmKind::paper_lineup());
+        assert_eq!(names, ["norec", "invalstm", "rinval-v1", "rinval-v2"]);
     }
 
     #[test]

@@ -6,10 +6,47 @@
 //! *user-requested* abort can roll back (no concurrent observer exists
 //! while the lock is held, so rollback is trivially safe).
 
+use super::{sealed, Algorithm};
 use crate::heap::Handle;
 use crate::sync::Backoff;
 use crate::txn::Txn;
+use crate::TxResult;
 use std::sync::atomic::Ordering;
+
+/// Engine for [`crate::AlgorithmKind::CoarseLock`].
+pub(crate) struct CoarseLock;
+
+impl sealed::Sealed for CoarseLock {}
+
+impl Algorithm for CoarseLock {
+    #[inline]
+    fn begin(tx: &mut Txn<'_>) {
+        begin(tx);
+    }
+
+    #[inline]
+    fn read(tx: &mut Txn<'_>, h: Handle) -> TxResult<u64> {
+        Ok(read(tx, h))
+    }
+
+    #[inline]
+    fn write(tx: &mut Txn<'_>, h: Handle, v: u64) -> TxResult<()> {
+        write(tx, h, v);
+        Ok(())
+    }
+
+    #[inline]
+    fn commit(tx: &mut Txn<'_>) -> TxResult<()> {
+        commit(tx);
+        Ok(())
+    }
+
+    #[inline]
+    fn cleanup_abort(tx: &mut Txn<'_>) {
+        abort(tx);
+        Self::cleanup_commit(tx);
+    }
+}
 
 pub(crate) fn begin(tx: &mut Txn<'_>) {
     let ts = &tx.stm.timestamp;

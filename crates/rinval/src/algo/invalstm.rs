@@ -17,15 +17,50 @@
 //! committer sees the signature bit (and invalidates). Either way no
 //! committed write escapes a conflicting reader.
 
+use super::{registry_begin, registry_end, sealed, Algorithm};
 use crate::heap::Handle;
 use crate::registry::{TX_ALIVE, TX_INVALIDATED};
 use crate::stats::ServerCounters;
 use crate::sync::Backoff;
 use crate::txn::Txn;
-use crate::{Aborted, AlgorithmKind, TxResult};
+use crate::{Aborted, TxResult};
 use std::sync::atomic::{fence, Ordering};
 
-pub(crate) fn read(tx: &mut Txn<'_>, h: Handle) -> TxResult<u64> {
+/// Engine for [`crate::AlgorithmKind::InvalStm`].
+pub(crate) struct InvalStm;
+
+impl sealed::Sealed for InvalStm {}
+
+impl Algorithm for InvalStm {
+    #[inline]
+    fn pin(tx: &mut Txn<'_>) {
+        registry_begin(tx);
+    }
+
+    #[inline]
+    fn read(tx: &mut Txn<'_>, h: Handle) -> TxResult<u64> {
+        read_impl::<false>(tx, h)
+    }
+
+    #[inline]
+    fn commit(tx: &mut Txn<'_>) -> TxResult<()> {
+        commit(tx)
+    }
+
+    #[inline]
+    fn cleanup_commit(tx: &mut Txn<'_>) {
+        registry_end(tx);
+    }
+}
+
+/// The family read path, monomorphized over whether the reader must wait
+/// for its invalidation-server (`CHECK_INVAL_SERVER`: RInval V2/V3 only;
+/// Algorithm 3, line 28). The check compiles out entirely for InvalSTM
+/// and V1.
+pub(crate) fn read_impl<const CHECK_INVAL_SERVER: bool>(
+    tx: &mut Txn<'_>,
+    h: Handle,
+) -> TxResult<u64> {
     if let Some(v) = tx.ws.get(h) {
         return Ok(v);
     }
@@ -34,11 +69,10 @@ pub(crate) fn read(tx: &mut Txn<'_>, h: Handle) -> TxResult<u64> {
     // V2/V3: the invalidation-server responsible for this slot must have
     // processed every commit up to the snapshot we accept (else a pending
     // invalidation aimed at us could still be in flight).
-    let my_inval = match tx.stm.algo {
-        AlgorithmKind::RInvalV2 { .. } | AlgorithmKind::RInvalV3 { .. } => Some(
-            &tx.stm.inval_ts[tx.stm.inval_server_of(tx.slot_idx)],
-        ),
-        _ => None,
+    let my_inval = if CHECK_INVAL_SERVER {
+        Some(&tx.stm.inval_ts[tx.stm.inval_server_of(tx.slot_idx)])
+    } else {
+        None
     };
     let mut bk = Backoff::new();
     loop {

@@ -1,9 +1,28 @@
-//! Per-algorithm transaction logic.
+//! The engine layer: one monomorphized [`Algorithm`] implementation per
+//! concurrency-control algorithm.
 //!
-//! Each submodule implements one concurrency-control algorithm's `begin` /
-//! `read` / `write` / `commit` over the shared [`crate::txn::Txn`] state;
-//! this module dispatches on [`crate::AlgorithmKind`]. The RInval server
-//! side lives in [`crate::server`].
+//! Each submodule implements one algorithm's `begin` / `read` / `write` /
+//! `commit` over the shared [`crate::txn::Txn`] state and exposes it as a
+//! unit type implementing [`Algorithm`]. The transaction loop
+//! ([`crate::txn::ThreadHandle`]) resolves [`crate::AlgorithmKind`] **once
+//! per attempt** through [`with_algorithm!`] and then runs fully
+//! monomorphized: lifecycle calls dispatch statically through
+//! `A: Algorithm`, and the body-visible ops (`Txn::read` / `Txn::write`)
+//! go through the per-attempt [`OpTable`] of plain function pointers —
+//! there is no kind branch anywhere on the per-access path. The RInval
+//! server side lives in [`crate::server`].
+//!
+//! ## Sealing
+//!
+//! [`Algorithm`] requires the private [`sealed::Sealed`] supertrait, so
+//! even if the trait were ever re-exported, downstream crates could not
+//! implement it: the engines assume exclusive knowledge of the protocol
+//! words in [`crate::StmInner`] (timestamp parity conventions, registry
+//! slot states, request-slot handshakes), and a foreign implementation
+//! could violate those invariants from safe code. Adding an algorithm
+//! means adding a unit type *here*, implementing `Algorithm` (most
+//! lifecycle hooks have correct defaults), and listing it in
+//! [`with_algorithm!`] — one impl, not a match arm in every dispatcher.
 
 pub(crate) mod coarse;
 pub(crate) mod invalstm;
@@ -12,110 +31,185 @@ pub(crate) mod rinval;
 pub(crate) mod tl2;
 pub(crate) mod tml;
 
-use crate::stats::Probe;
+use crate::heap::Handle;
 use crate::txn::Txn;
-use crate::{AlgorithmKind, TxResult};
+use crate::TxResult;
 
-/// Starts a transaction attempt (snapshot acquisition / slot registration /
-/// lock acquisition, depending on the algorithm).
+pub(crate) mod sealed {
+    /// Private supertrait restricting [`super::Algorithm`] impls to this
+    /// module tree.
+    pub(crate) trait Sealed {}
+}
+
+/// One concurrency-control algorithm, monomorphized: every method takes
+/// the shared [`Txn`] state and dispatches statically.
 ///
-/// Every algorithm now pins the reclamation horizon (DESIGN.md §9) at
-/// begin: *any* transaction holding handles must keep retired blocks from
-/// its start era out of circulation, not just the invalidation family.
-/// The invalidation family uses the full
-/// [`crate::registry::Registry::begin`] (which also publishes the slot in
-/// the `live` map and clears the read signature that committers/servers
-/// scan); the others only store their start era into their own slot
-/// ([`crate::registry::Registry::pin_era`]) — a single uncontended store,
-/// so the fast algorithms' critical path stays free of shared-map traffic.
+/// The default methods encode the behaviour shared by the lazy
+/// write-buffering algorithms (NOrec and the invalidation family) and the
+/// common era-pinning lifecycle (DESIGN.md §9); each engine overrides
+/// only what differs. Call order per attempt:
 ///
-/// The pinned era is the thread's cached copy of the clock, not a fresh
-/// read — begins must not touch the era cache line, which every
-/// free-carrying commit bumps. Stale is safe: a lower pin only delays
-/// recycling (DESIGN.md §9).
-pub(crate) fn begin(tx: &mut Txn<'_>) {
-    let era = tx.cache.era_cache;
-    match tx.stm.algo {
-        AlgorithmKind::CoarseLock => {
-            tx.stm.registry.pin_era(tx.slot_idx, era);
-            coarse::begin(tx);
+/// 1. [`Algorithm::pin`] — pin the reclamation horizon;
+/// 2. [`Algorithm::begin`] — snapshot / lock acquisition;
+/// 3. body: [`Algorithm::read`] / [`Algorithm::write`] (via [`OpTable`]);
+/// 4. [`Algorithm::commit`];
+/// 5. [`Algorithm::cleanup_commit`] or [`Algorithm::cleanup_abort`].
+pub(crate) trait Algorithm: sealed::Sealed + 'static {
+    /// Pins the reclamation horizon for this attempt.
+    ///
+    /// Every algorithm must keep retired blocks from its start era out of
+    /// circulation while it may hold handles to them. The default is the
+    /// plain pin ([`crate::registry::Registry::pin_era`]) — a single
+    /// uncontended `Release` store, keeping the fast algorithms' critical
+    /// path free of shared-map traffic. TL2 overrides this with the
+    /// fenced variant; the invalidation family overrides it with the full
+    /// [`registry_begin`] (which also publishes the slot in the `live`
+    /// map and clears the read signature that committers/servers scan).
+    ///
+    /// The pinned era is the thread's cached copy of the clock, not a
+    /// fresh read — begins must not touch the era cache line, which every
+    /// free-carrying commit bumps. Stale is safe: a lower pin only delays
+    /// recycling (DESIGN.md §9).
+    #[inline]
+    fn pin(tx: &mut Txn<'_>) {
+        tx.stm.registry.pin_era(tx.slot_idx, tx.cache.era_cache);
+    }
+
+    /// Starts a transaction attempt (snapshot acquisition / lock
+    /// acquisition). Runs after [`Algorithm::pin`]. Default: nothing —
+    /// the invalidation family's begin is entirely the registry work its
+    /// `pin` override performs.
+    #[inline]
+    fn begin(_tx: &mut Txn<'_>) {}
+
+    /// Transactionally reads the word at `h`.
+    fn read(tx: &mut Txn<'_>, h: Handle) -> TxResult<u64>;
+
+    /// Transactionally writes `v` to the word at `h`.
+    ///
+    /// Default: lazy buffering — the write-set holds the value and the
+    /// private Bloom signature gets one insertion per distinct address.
+    /// The eager algorithms (coarse lock, TML) override this with
+    /// write-in-place plus undo logging.
+    #[inline]
+    fn write(tx: &mut Txn<'_>, h: Handle, v: u64) -> TxResult<()> {
+        if tx.ws.insert(h, v) {
+            tx.wbf.insert(h.addr());
         }
-        AlgorithmKind::Tml => {
-            tx.stm.registry.pin_era(tx.slot_idx, era);
-            tml::begin(tx);
-        }
-        AlgorithmKind::NOrec => {
-            tx.stm.registry.pin_era(tx.slot_idx, era);
-            norec::begin(tx);
-        }
-        AlgorithmKind::Tl2 => {
-            // TL2 needs the fenced pin: its stripe versions do not cover
-            // recycling writes, so the horizon scan must never miss it.
-            tx.stm.registry.pin_era_fenced(tx.slot_idx, era);
-            tl2::begin(tx);
-        }
-        AlgorithmKind::InvalStm
-        | AlgorithmKind::RInvalV1
-        | AlgorithmKind::RInvalV2 { .. }
-        | AlgorithmKind::RInvalV3 { .. } => tx.stm.registry.begin(tx.slot_idx, era),
+        Ok(())
+    }
+
+    /// Attempts to commit; on `Err` the caller must run
+    /// [`Algorithm::cleanup_abort`].
+    fn commit(tx: &mut Txn<'_>) -> TxResult<()>;
+
+    /// Post-commit bookkeeping. Default: unpin the reclamation horizon;
+    /// the invalidation family overrides with [`registry_end`], which
+    /// additionally deregisters from the in-flight registry and withdraws
+    /// the slot from the `live` summary map.
+    #[inline]
+    fn cleanup_commit(tx: &mut Txn<'_>) {
+        tx.stm.registry.unpin_era(tx.slot_idx);
+    }
+
+    /// Post-abort bookkeeping: release any held lock, roll back in-place
+    /// writes, then unpin / deregister. Default: same as
+    /// [`Algorithm::cleanup_commit`] (the lazy algorithms publish nothing
+    /// before commit succeeds, so there is nothing to roll back —
+    /// resolved through `Self`, so a family's `cleanup_commit` override
+    /// covers its aborts too).
+    #[inline]
+    fn cleanup_abort(tx: &mut Txn<'_>) {
+        Self::cleanup_commit(tx);
     }
 }
 
-/// Attempts to commit; on `Err` the caller must run [`cleanup_abort`].
-pub(crate) fn commit(tx: &mut Txn<'_>) -> TxResult<()> {
-    let p = Probe::start(tx.profile);
-    let r = match tx.stm.algo {
-        AlgorithmKind::CoarseLock => {
-            coarse::commit(tx);
-            Ok(())
+/// The per-attempt dispatch table for body-visible operations.
+///
+/// User transaction bodies are plain closures over `&mut Txn<'_>` — they
+/// cannot be generic over the algorithm, so `Txn::read` / `Txn::write`
+/// cannot statically name `A`. Instead each attempt installs this table
+/// of plain function pointers (built per-`A` by [`OpTable::of`], a const
+/// fn, so the table itself is a compile-time constant). A call through it
+/// is one indirect jump to the already-monomorphized engine function —
+/// no kind comparison, no branch tree.
+#[derive(Clone, Copy)]
+pub(crate) struct OpTable {
+    /// [`Algorithm::read`] of the attempt's engine.
+    pub(crate) read: fn(&mut Txn<'_>, Handle) -> TxResult<u64>,
+    /// [`Algorithm::write`] of the attempt's engine.
+    pub(crate) write: fn(&mut Txn<'_>, Handle, u64) -> TxResult<()>,
+}
+
+impl OpTable {
+    /// The op table of engine `A`.
+    pub(crate) const fn of<A: Algorithm>() -> OpTable {
+        OpTable {
+            read: A::read,
+            write: A::write,
         }
-        AlgorithmKind::Tml => {
-            tml::commit(tx);
-            Ok(())
+    }
+}
+
+/// Full registry begin: the invalidation family's [`Algorithm::pin`].
+#[inline]
+pub(crate) fn registry_begin(tx: &mut Txn<'_>) {
+    tx.stm.registry.begin(tx.slot_idx, tx.cache.era_cache);
+}
+
+/// Registry deregistration: the invalidation family's
+/// [`Algorithm::cleanup_commit`].
+#[inline]
+pub(crate) fn registry_end(tx: &mut Txn<'_>) {
+    tx.stm.registry.end(tx.slot_idx);
+}
+
+/// Resolves an [`crate::AlgorithmKind`] value to its engine type exactly
+/// once, binding it as a type alias visible to the expression:
+///
+/// ```ignore
+/// with_algorithm!(self.stm.algo, A => self.attempt::<A, T>(body))
+/// ```
+///
+/// This is the single place in the crate where the kind enum is matched
+/// on the transaction path; everything the expression calls is
+/// monomorphized for the bound engine.
+macro_rules! with_algorithm {
+    ($kind:expr, $A:ident => $e:expr) => {
+        match $kind {
+            $crate::AlgorithmKind::CoarseLock => {
+                type $A = $crate::algo::coarse::CoarseLock;
+                $e
+            }
+            $crate::AlgorithmKind::Tml => {
+                type $A = $crate::algo::tml::Tml;
+                $e
+            }
+            $crate::AlgorithmKind::NOrec => {
+                type $A = $crate::algo::norec::NOrec;
+                $e
+            }
+            $crate::AlgorithmKind::Tl2 => {
+                type $A = $crate::algo::tl2::Tl2;
+                $e
+            }
+            $crate::AlgorithmKind::InvalStm => {
+                type $A = $crate::algo::invalstm::InvalStm;
+                $e
+            }
+            $crate::AlgorithmKind::RInvalV1 => {
+                type $A = $crate::algo::rinval::RInvalV1;
+                $e
+            }
+            $crate::AlgorithmKind::RInvalV2 { .. } => {
+                type $A = $crate::algo::rinval::RInvalV2;
+                $e
+            }
+            $crate::AlgorithmKind::RInvalV3 { .. } => {
+                type $A = $crate::algo::rinval::RInvalV3;
+                $e
+            }
         }
-        AlgorithmKind::NOrec => norec::commit(tx),
-        AlgorithmKind::Tl2 => tl2::commit(tx),
-        AlgorithmKind::InvalStm => invalstm::commit(tx),
-        AlgorithmKind::RInvalV1
-        | AlgorithmKind::RInvalV2 { .. }
-        | AlgorithmKind::RInvalV3 { .. } => rinval::client_commit(tx),
     };
-    // Commit-phase time includes spinning on the global lock (NOrec /
-    // InvalSTM) or on the request slot (RInval) — exactly the paper's
-    // "commit" bucket in Fig. 2/3.
-    p.stop(&mut tx.stats.commit);
-    r
 }
-
-/// Post-commit bookkeeping: unpin the reclamation horizon; the
-/// invalidation family additionally deregisters from the in-flight
-/// registry and withdraws the slot from the `live` summary map.
-pub(crate) fn cleanup_commit(tx: &mut Txn<'_>) {
-    match tx.stm.algo {
-        AlgorithmKind::CoarseLock
-        | AlgorithmKind::Tml
-        | AlgorithmKind::NOrec
-        | AlgorithmKind::Tl2 => tx.stm.registry.unpin_era(tx.slot_idx),
-        _ => tx.stm.registry.end(tx.slot_idx),
-    }
-}
-
-/// Post-abort bookkeeping: release any held lock, roll back in-place
-/// writes, unpin the horizon / deregister.
-pub(crate) fn cleanup_abort(tx: &mut Txn<'_>) {
-    match tx.stm.algo {
-        AlgorithmKind::CoarseLock => {
-            coarse::abort(tx);
-            tx.stm.registry.unpin_era(tx.slot_idx);
-        }
-        AlgorithmKind::Tml => {
-            tml::abort(tx);
-            tx.stm.registry.unpin_era(tx.slot_idx);
-        }
-        // TL2's commit releases its own locks on every failure path.
-        AlgorithmKind::NOrec | AlgorithmKind::Tl2 => {
-            tx.stm.registry.unpin_era(tx.slot_idx)
-        }
-        _ => tx.stm.registry.end(tx.slot_idx),
-    }
-}
+pub(crate) use with_algorithm;

@@ -14,11 +14,35 @@
 //! `SeqCst` (acquire: write-back stores cannot float above it) and the
 //! release store publishes the write-back.
 
+use super::{sealed, Algorithm};
 use crate::heap::Handle;
 use crate::sync::Backoff;
 use crate::txn::Txn;
 use crate::{Aborted, TxResult};
 use std::sync::atomic::{fence, Ordering};
+
+/// Engine for [`crate::AlgorithmKind::NOrec`]. Lazy write buffering and
+/// the unpin-only cleanups are the trait defaults.
+pub(crate) struct NOrec;
+
+impl sealed::Sealed for NOrec {}
+
+impl Algorithm for NOrec {
+    #[inline]
+    fn begin(tx: &mut Txn<'_>) {
+        begin(tx);
+    }
+
+    #[inline]
+    fn read(tx: &mut Txn<'_>, h: Handle) -> TxResult<u64> {
+        read(tx, h)
+    }
+
+    #[inline]
+    fn commit(tx: &mut Txn<'_>) -> TxResult<()> {
+        commit(tx)
+    }
+}
 
 pub(crate) fn begin(tx: &mut Txn<'_>) {
     let ts = &tx.stm.timestamp;

@@ -15,11 +15,64 @@
 //! No CAS is executed anywhere on this path, which is the paper's headline
 //! mechanism for removing coherence traffic from the critical path.
 
+use super::{invalstm, registry_begin, registry_end, sealed, Algorithm};
+use crate::heap::Handle;
 use crate::registry::{REQ_ABORTED, REQ_COMMITTED, REQ_IDLE, REQ_PENDING, TX_INVALIDATED};
 use crate::sync::Backoff;
 use crate::txn::Txn;
 use crate::{Aborted, TxResult};
 use std::sync::atomic::Ordering;
+
+/// The lifecycle shared by all three RInval engines; only the read path's
+/// invalidation-server check distinguishes them at the client.
+macro_rules! rinval_engine {
+    ($(#[$meta:meta])* $name:ident, check_inval_server = $chk:literal) => {
+        $(#[$meta])*
+        pub(crate) struct $name;
+
+        impl sealed::Sealed for $name {}
+
+        impl Algorithm for $name {
+            #[inline]
+            fn pin(tx: &mut Txn<'_>) {
+                registry_begin(tx);
+            }
+
+            #[inline]
+            fn read(tx: &mut Txn<'_>, h: Handle) -> TxResult<u64> {
+                invalstm::read_impl::<$chk>(tx, h)
+            }
+
+            #[inline]
+            fn commit(tx: &mut Txn<'_>) -> TxResult<()> {
+                client_commit(tx)
+            }
+
+            #[inline]
+            fn cleanup_commit(tx: &mut Txn<'_>) {
+                registry_end(tx);
+            }
+        }
+    };
+}
+
+rinval_engine!(
+    /// Engine for [`crate::AlgorithmKind::RInvalV1`]: the single
+    /// commit-server invalidates synchronously, so readers never wait on
+    /// an invalidation-server timestamp.
+    RInvalV1,
+    check_inval_server = false
+);
+rinval_engine!(
+    /// Engine for [`crate::AlgorithmKind::RInvalV2`].
+    RInvalV2,
+    check_inval_server = true
+);
+rinval_engine!(
+    /// Engine for [`crate::AlgorithmKind::RInvalV3`].
+    RInvalV3,
+    check_inval_server = true
+);
 
 pub(crate) fn client_commit(tx: &mut Txn<'_>) -> TxResult<()> {
     let slot = tx.stm.registry.slot(tx.slot_idx);

@@ -22,11 +22,45 @@
 //! Read-set entries reuse [`crate::logs::ValueReadSet`], holding
 //! `(handle, orec snapshot)` pairs instead of values.
 
+use super::{sealed, Algorithm};
 use crate::heap::Handle;
 use crate::sync::Backoff;
 use crate::txn::Txn;
 use crate::{Aborted, TxResult};
 use std::sync::atomic::{fence, AtomicU64, Ordering};
+
+/// Engine for [`crate::AlgorithmKind::Tl2`].
+pub(crate) struct Tl2;
+
+impl sealed::Sealed for Tl2 {}
+
+impl Algorithm for Tl2 {
+    /// TL2 needs the fenced pin: its stripe versions do not cover
+    /// recycling writes, so the horizon scan must never miss it.
+    #[inline]
+    fn pin(tx: &mut Txn<'_>) {
+        tx.stm
+            .registry
+            .pin_era_fenced(tx.slot_idx, tx.cache.era_cache);
+    }
+
+    #[inline]
+    fn begin(tx: &mut Txn<'_>) {
+        begin(tx);
+    }
+
+    #[inline]
+    fn read(tx: &mut Txn<'_>, h: Handle) -> TxResult<u64> {
+        read(tx, h)
+    }
+
+    /// TL2's commit releases its own orecs on every failure path, so the
+    /// abort cleanup is the same unpin as the commit cleanup (default).
+    #[inline]
+    fn commit(tx: &mut Txn<'_>) -> TxResult<()> {
+        commit(tx)
+    }
+}
 
 /// Bit 0 of an orec = locked; the rest is the commit version.
 const LOCKED: u64 = 1;

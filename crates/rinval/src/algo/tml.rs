@@ -1,4 +1,4 @@
-//! Transactional Mutex Lock (Spear et al., TRANSACT'09; paper §II ref [8]).
+//! Transactional Mutex Lock (Spear et al., TRANSACT'09; paper §II ref \[8\]).
 //!
 //! Readers run speculatively against the global sequence lock: every read
 //! revalidates that the snapshot timestamp is unchanged, so a reader aborts
@@ -7,11 +7,46 @@
 //! snapshot+1`); from then on it reads and writes in place and cannot be
 //! aborted by others. An undo log supports user-requested aborts.
 
+use super::{sealed, Algorithm};
 use crate::heap::Handle;
 use crate::sync::Backoff;
 use crate::txn::Txn;
 use crate::{Aborted, TxResult};
 use std::sync::atomic::{fence, Ordering};
+
+/// Engine for [`crate::AlgorithmKind::Tml`].
+pub(crate) struct Tml;
+
+impl sealed::Sealed for Tml {}
+
+impl Algorithm for Tml {
+    #[inline]
+    fn begin(tx: &mut Txn<'_>) {
+        begin(tx);
+    }
+
+    #[inline]
+    fn read(tx: &mut Txn<'_>, h: Handle) -> TxResult<u64> {
+        read(tx, h)
+    }
+
+    #[inline]
+    fn write(tx: &mut Txn<'_>, h: Handle, v: u64) -> TxResult<()> {
+        write(tx, h, v)
+    }
+
+    #[inline]
+    fn commit(tx: &mut Txn<'_>) -> TxResult<()> {
+        commit(tx);
+        Ok(())
+    }
+
+    #[inline]
+    fn cleanup_abort(tx: &mut Txn<'_>) {
+        abort(tx);
+        Self::cleanup_commit(tx);
+    }
+}
 
 pub(crate) fn begin(tx: &mut Txn<'_>) {
     let ts = &tx.stm.timestamp;

@@ -141,6 +141,19 @@ pub enum AlgorithmKind {
 }
 
 impl AlgorithmKind {
+    /// The canonical names accepted by the [`std::str::FromStr`] impl, in
+    /// declaration order — the single source for CLI help strings.
+    pub const NAMES: [&'static str; 8] = [
+        "coarse-lock",
+        "tml",
+        "norec",
+        "invalstm",
+        "rinval-v1",
+        "rinval-v2",
+        "rinval-v3",
+        "tl2",
+    ];
+
     /// Short stable name used in benchmark output (matches the paper's
     /// legends where applicable).
     pub fn name(&self) -> &'static str {
@@ -192,6 +205,80 @@ impl AlgorithmKind {
             AlgorithmKind::RInvalV1,
             AlgorithmKind::RInvalV2 { invalidators: 4 },
         ]
+    }
+}
+
+/// Error from parsing an [`AlgorithmKind`]; lists the accepted names.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseAlgorithmKindError {
+    input: String,
+}
+
+impl std::fmt::Display for ParseAlgorithmKindError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown algorithm '{}' (expected one of: {}; rinval-v2:<invalidators> and \
+             rinval-v3:<invalidators>:<steps_ahead> set the server parameters)",
+            self.input,
+            AlgorithmKind::NAMES.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for ParseAlgorithmKindError {}
+
+/// Inverse of [`AlgorithmKind::name`]: parses the canonical names in
+/// [`AlgorithmKind::NAMES`]. The parameterized kinds default to the
+/// paper's configuration (`rinval-v2` → 4 invalidators, `rinval-v3` → 4
+/// invalidators running 4 steps ahead) and accept explicit parameters as
+/// colon-separated suffixes: `rinval-v2:8`, `rinval-v3:8:2`.
+impl std::str::FromStr for AlgorithmKind {
+    type Err = ParseAlgorithmKindError;
+
+    fn from_str(s: &str) -> Result<AlgorithmKind, ParseAlgorithmKindError> {
+        let err = || ParseAlgorithmKindError { input: s.into() };
+        let mut parts = s.split(':');
+        let base = parts.next().unwrap_or_default();
+        // At most two numeric parameters; anything unparsable is an error.
+        let mut params = [None::<usize>; 2];
+        for slot in params.iter_mut() {
+            match parts.next() {
+                None => break,
+                Some(p) => *slot = Some(p.parse().map_err(|_| err())?),
+            }
+        }
+        if parts.next().is_some() {
+            return Err(err());
+        }
+        let bare = |kind: AlgorithmKind| {
+            if params[0].is_some() {
+                Err(err())
+            } else {
+                Ok(kind)
+            }
+        };
+        match base {
+            "coarse-lock" => bare(AlgorithmKind::CoarseLock),
+            "tml" => bare(AlgorithmKind::Tml),
+            "norec" => bare(AlgorithmKind::NOrec),
+            "invalstm" => bare(AlgorithmKind::InvalStm),
+            "rinval-v1" => bare(AlgorithmKind::RInvalV1),
+            "tl2" => bare(AlgorithmKind::Tl2),
+            "rinval-v2" => {
+                if params[1].is_some() {
+                    return Err(err());
+                }
+                Ok(AlgorithmKind::RInvalV2 {
+                    invalidators: params[0].unwrap_or(4),
+                })
+            }
+            "rinval-v3" => Ok(AlgorithmKind::RInvalV3 {
+                invalidators: params[0].unwrap_or(4),
+                steps_ahead: params[1].unwrap_or(4),
+            }),
+            _ => Err(err()),
+        }
     }
 }
 

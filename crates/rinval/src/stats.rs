@@ -19,6 +19,11 @@ pub struct PhaseStats {
     /// Time spent validating reads (seqlock retries, NOrec read-set
     /// revalidation, invalidation-flag checks).
     pub validation: Duration,
+    /// Time spent in the write path (write-set buffering, or TML/coarse
+    /// lock upgrade + undo logging + in-place store). Part of the paper's
+    /// "other" bucket in Fig. 2/3; broken out here so eager engines'
+    /// write-side work is observable per phase like the read side.
+    pub write: Duration,
     /// Time spent in the commit routine (including spinning on the global
     /// lock or on the request slot).
     pub commit: Duration,
@@ -40,6 +45,7 @@ impl PhaseStats {
     /// Merges another thread's stats into this one.
     pub fn merge(&mut self, other: &PhaseStats) {
         self.validation += other.validation;
+        self.write += other.write;
         self.commit += other.commit;
         self.abort += other.abort;
         self.total_tx += other.total_tx;
@@ -55,8 +61,8 @@ impl PhaseStats {
     }
 
     /// `(validation, commit, other)` fractions of a given wall-clock budget,
-    /// matching the paper's Fig. 2/3 stacking. `other` absorbs abort time
-    /// and non-transactional work.
+    /// matching the paper's Fig. 2/3 stacking. `other` absorbs write-path,
+    /// abort and non-transactional time.
     pub fn breakdown(&self, wall: Duration) -> (f64, f64, f64) {
         let w = wall.as_secs_f64().max(f64::MIN_POSITIVE);
         let v = (self.validation.as_secs_f64() / w).min(1.0);
@@ -241,6 +247,19 @@ mod tests {
         assert_eq!(a.commits, 5);
         assert_eq!(a.aborts, 3);
         assert_eq!(a.validation, Duration::from_millis(12));
+    }
+
+    #[test]
+    fn merge_accumulates_write_bucket() {
+        let mut a = PhaseStats {
+            write: Duration::from_millis(3),
+            ..Default::default()
+        };
+        a.merge(&PhaseStats {
+            write: Duration::from_millis(4),
+            ..Default::default()
+        });
+        assert_eq!(a.write, Duration::from_millis(7));
     }
 
     #[test]

@@ -1,17 +1,22 @@
 //! Transaction execution: [`ThreadHandle`] (per-thread context with the
 //! retry loop) and [`Txn`] (the in-flight transaction passed to closures).
 //!
-//! The per-operation logic lives in `algo/*`; this module owns the state
-//! that survives across retries (logs, contention manager, stats) and the
-//! begin / run / commit / abort choreography shared by every algorithm.
+//! The per-operation logic lives in the `algo/*` engines; this module owns
+//! the state that survives across retries (logs, contention manager,
+//! stats) and the begin / run / commit / abort choreography shared by
+//! every algorithm. The [`crate::AlgorithmKind`] is resolved exactly once
+//! per attempt (`algo::with_algorithm!` in [`ThreadHandle::run`] /
+//! [`ThreadHandle::try_run`]); from there the lifecycle dispatches
+//! statically through `A: Algorithm` and the body-visible ops go through
+//! the attempt's [`algo::OpTable`].
 
-use crate::algo;
+use crate::algo::{self, Algorithm};
 use crate::bloom::Bloom;
 use crate::cm::ContentionManager;
 use crate::heap::{Handle, HeapCache};
 use crate::logs::{AllocLog, ValueReadSet, WriteSet};
 use crate::stats::{PhaseStats, Probe};
-use crate::{Aborted, AlgorithmKind, StmInner, TxResult};
+use crate::{Aborted, StmInner, TxResult};
 
 /// Per-registered-thread transaction context.
 ///
@@ -71,11 +76,14 @@ impl<'a> ThreadHandle<'a> {
     /// The closure may run many times; side effects outside the STM must be
     /// idempotent. Within the closure, propagate [`Aborted`] with `?`.
     pub fn run<T>(&mut self, mut body: impl FnMut(&mut Txn<'_>) -> TxResult<T>) -> T {
-        loop {
-            if let Ok(v) = self.attempt(&mut body) {
+        // The one kind branch of the transaction path: resolve the engine
+        // here, outside the retry loop, so every attempt (and everything
+        // inside it) is monomorphized.
+        algo::with_algorithm!(self.stm.algo, A => loop {
+            if let Ok(v) = self.attempt::<A, T>(&mut body) {
                 return v;
             }
-        }
+        })
     }
 
     /// Like [`ThreadHandle::run`] but gives up after `max_attempts` aborts.
@@ -84,17 +92,22 @@ impl<'a> ThreadHandle<'a> {
         max_attempts: usize,
         mut body: impl FnMut(&mut Txn<'_>) -> TxResult<T>,
     ) -> TxResult<T> {
-        for _ in 0..max_attempts {
-            if let Ok(v) = self.attempt(&mut body) {
-                return Ok(v);
+        algo::with_algorithm!(self.stm.algo, A => {
+            for _ in 0..max_attempts {
+                if let Ok(v) = self.attempt::<A, T>(&mut body) {
+                    return Ok(v);
+                }
             }
-        }
-        Err(Aborted)
+            Err(Aborted)
+        })
     }
 
-    /// One transaction attempt: begin → body → commit, with cleanup on
-    /// either failure path.
-    fn attempt<T>(&mut self, body: &mut impl FnMut(&mut Txn<'_>) -> TxResult<T>) -> TxResult<T> {
+    /// One transaction attempt of engine `A`: pin → begin → body → commit,
+    /// with cleanup on either failure path.
+    fn attempt<A: Algorithm, T>(
+        &mut self,
+        body: &mut impl FnMut(&mut Txn<'_>) -> TxResult<T>,
+    ) -> TxResult<T> {
         let profile = self.stm.profile;
         let p_total = Probe::start(profile);
         self.rs.clear();
@@ -107,6 +120,7 @@ impl<'a> ThreadHandle<'a> {
             slot_idx: self.slot_idx,
             snapshot: 0,
             tml_writer: false,
+            ops: algo::OpTable::of::<A>(),
             rs: &mut self.rs,
             ws: &mut self.ws,
             wbf: &mut self.wbf,
@@ -115,12 +129,21 @@ impl<'a> ThreadHandle<'a> {
             stats: &mut self.stats,
             profile,
         };
-        algo::begin(&mut tx);
+        A::pin(&mut tx);
+        A::begin(&mut tx);
 
-        let outcome = body(&mut tx).and_then(|v| algo::commit(&mut tx).map(|()| v));
+        let outcome = body(&mut tx).and_then(|v| {
+            // Commit-phase time includes spinning on the global lock
+            // (NOrec / InvalSTM) or on the request slot (RInval) — exactly
+            // the paper's "commit" bucket in Fig. 2/3.
+            let p = Probe::start(profile);
+            let r = A::commit(&mut tx);
+            p.stop(&mut tx.stats.commit);
+            r.map(|()| v)
+        });
         match outcome {
             Ok(v) => {
-                algo::cleanup_commit(&mut tx);
+                A::cleanup_commit(&mut tx);
                 // The era stamp for this attempt's frees is taken here,
                 // strictly after the commit is fully visible (under RInval
                 // the server has already answered COMMITTED, so its
@@ -133,7 +156,7 @@ impl<'a> ThreadHandle<'a> {
             }
             Err(Aborted) => {
                 let p_abort = Probe::start(profile);
-                algo::cleanup_abort(&mut tx);
+                A::cleanup_abort(&mut tx);
                 // Surrender speculative allocations; drop pending frees.
                 self.cache.abort(&mut self.alog);
                 self.stats.aborts += 1;
@@ -173,6 +196,9 @@ pub struct Txn<'t> {
     pub(crate) snapshot: u64,
     /// TML: whether this transaction has upgraded to the exclusive lock.
     pub(crate) tml_writer: bool,
+    /// This attempt's engine ops (installed once per attempt; see
+    /// [`algo::OpTable`]).
+    pub(crate) ops: algo::OpTable,
     pub(crate) rs: &'t mut ValueReadSet,
     pub(crate) ws: &'t mut WriteSet,
     /// Private write signature, published at commit.
@@ -191,16 +217,7 @@ impl Txn<'_> {
     pub fn read(&mut self, h: Handle) -> TxResult<u64> {
         self.stats.reads += 1;
         let p = Probe::start(self.profile);
-        let r = match self.stm.algo {
-            AlgorithmKind::CoarseLock => Ok(algo::coarse::read(self, h)),
-            AlgorithmKind::Tml => algo::tml::read(self, h),
-            AlgorithmKind::NOrec => algo::norec::read(self, h),
-            AlgorithmKind::Tl2 => algo::tl2::read(self, h),
-            AlgorithmKind::InvalStm
-            | AlgorithmKind::RInvalV1
-            | AlgorithmKind::RInvalV2 { .. }
-            | AlgorithmKind::RInvalV3 { .. } => algo::invalstm::read(self, h),
-        };
+        let r = (self.ops.read)(self, h);
         p.stop(&mut self.stats.validation);
         r
     }
@@ -209,21 +226,10 @@ impl Txn<'_> {
     #[inline]
     pub fn write(&mut self, h: Handle, v: u64) -> TxResult<()> {
         self.stats.writes += 1;
-        match self.stm.algo {
-            AlgorithmKind::CoarseLock => {
-                algo::coarse::write(self, h, v);
-                Ok(())
-            }
-            AlgorithmKind::Tml => algo::tml::write(self, h, v),
-            _ => {
-                // Lazy algorithms buffer the write; the Bloom signature gets
-                // one insertion per distinct address.
-                if self.ws.insert(h, v) {
-                    self.wbf.insert(h.addr());
-                }
-                Ok(())
-            }
-        }
+        let p = Probe::start(self.profile);
+        let r = (self.ops.write)(self, h, v);
+        p.stop(&mut self.stats.write);
+        r
     }
 
     /// Reads a word that is known to encode a [`Handle`] (a transactional

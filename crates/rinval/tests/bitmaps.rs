@@ -133,7 +133,7 @@ fn summary_maps_agree_with_slot_state_under_stress() {
                 "stale pending bit {i} under {algo:?}"
             );
         }
-        assert_eq!(stm.peek(shared) > 0, true);
+        assert!(stm.peek(shared) > 0);
     }
 }
 

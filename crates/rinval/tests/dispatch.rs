@@ -1,0 +1,216 @@
+//! Dispatch-equivalence suite for the monomorphized engine layer.
+//!
+//! The engines behind the eight [`AlgorithmKind`]s are now resolved once
+//! per transaction attempt and run statically dispatched; these tests pin
+//! down that the *observable* behaviour through the public [`Stm`] facade
+//! is identical regardless of that dispatch path: a deterministic
+//! workload must produce the same committed state, the same
+//! commit/abort/read/write counts, the same heap telemetry
+//! ([`Stm::heap_stats`]) and the per-family server counters
+//! ([`Stm::server_stats`]) on every kind. The `FromStr` round-trip tests
+//! live here too, since the parse table is the other place every kind
+//! must be enumerated.
+
+use rinval::{AlgorithmKind, PhaseStats, Stm};
+
+/// Every kind, with the parameterized family members at small server
+/// counts so the suite stays fast on single-core hosts.
+fn all_kinds() -> [AlgorithmKind; 8] {
+    [
+        AlgorithmKind::CoarseLock,
+        AlgorithmKind::Tml,
+        AlgorithmKind::NOrec,
+        AlgorithmKind::Tl2,
+        AlgorithmKind::InvalStm,
+        AlgorithmKind::RInvalV1,
+        AlgorithmKind::RInvalV2 { invalidators: 2 },
+        AlgorithmKind::RInvalV3 {
+            invalidators: 2,
+            steps_ahead: 3,
+        },
+    ]
+}
+
+/// Deterministic single-thread workload touching every op the facade
+/// exposes: reads, writes, alloc/init, free, and a couple of user aborts.
+/// Returns (final words, accumulated thread stats, heap stats).
+fn run_workload(algo: AlgorithmKind) -> (Vec<u64>, PhaseStats, rinval::HeapStats) {
+    const WORDS: u32 = 16;
+    const ROUNDS: u64 = 50;
+    let stm = Stm::builder(algo).heap_words(1 << 12).build();
+    let arr = stm.alloc(WORDS as usize);
+    let mut th = stm.register_thread();
+    for r in 0..ROUNDS {
+        // One RMW commit over all words.
+        th.run(|tx| {
+            for i in 0..WORDS {
+                let v = tx.read(arr.field(i))?;
+                tx.write(arr.field(i), v + i as u64 + 1)?;
+            }
+            Ok(())
+        });
+        // One alloc→publish→unpublish→free cycle.
+        th.run(|tx| {
+            let node = tx.alloc_init(&[r, r + 1])?;
+            tx.write(arr.field(0), node.to_word())?;
+            Ok(())
+        });
+        th.run(|tx| {
+            let node = tx.read_handle(arr.field(0))?;
+            let stashed = tx.read(node)?;
+            tx.write(arr.field(1), stashed)?;
+            tx.write(arr.field(0), 0)?;
+            tx.free(node, 2)
+        });
+        // One read-only commit.
+        th.run(|tx| {
+            let mut acc = 0u64;
+            for i in 0..WORDS {
+                acc = acc.wrapping_add(tx.read(arr.field(i))?);
+            }
+            Ok(acc)
+        });
+    }
+    // Exactly 3 aborted attempts, observable in the abort counter.
+    let denied = th.try_run(3, |tx| {
+        let _ = tx.read(arr.field(2))?;
+        tx.user_abort::<()>()
+    });
+    assert!(denied.is_err());
+    let stats = th.take_stats();
+    drop(th);
+    let words = (0..WORDS).map(|i| stm.peek(arr.field(i))).collect();
+    (words, stats, stm.heap_stats())
+}
+
+/// The workload's committed state and counters must not depend on which
+/// engine executed it.
+#[test]
+fn workload_observables_identical_across_kinds() {
+    let (ref_words, ref_stats, ref_heap) = run_workload(AlgorithmKind::CoarseLock);
+    assert!(ref_stats.commits > 0);
+    assert_eq!(ref_stats.aborts, 3, "try_run must burn exactly 3 attempts");
+    for algo in all_kinds() {
+        let (words, stats, heap) = run_workload(algo);
+        let name = algo.name();
+        assert_eq!(words, ref_words, "{name}: final heap words diverge");
+        assert_eq!(stats.commits, ref_stats.commits, "{name}: commit count");
+        assert_eq!(stats.aborts, ref_stats.aborts, "{name}: abort count");
+        assert_eq!(stats.reads, ref_stats.reads, "{name}: read count");
+        assert_eq!(stats.writes, ref_stats.writes, "{name}: write count");
+        assert_eq!(
+            (heap.allocated_words, heap.freed_words, heap.recycled_words),
+            (
+                ref_heap.allocated_words,
+                ref_heap.freed_words,
+                ref_heap.recycled_words
+            ),
+            "{name}: heap telemetry diverges"
+        );
+    }
+}
+
+/// The per-family server counters must reflect exactly the write commits
+/// the workload performed — the commit path may not skip or double-count
+/// work whichever dispatch route reached it.
+#[test]
+fn server_counters_match_write_commits() {
+    const INCS: u64 = 40;
+    for algo in all_kinds() {
+        let stm = Stm::builder(algo).heap_words(1 << 10).build();
+        let c = stm.alloc_init(&[0]);
+        {
+            let mut th = stm.register_thread();
+            for _ in 0..INCS {
+                th.run(|tx| {
+                    let v = tx.read(c)?;
+                    tx.write(c, v + 1)
+                });
+            }
+        }
+        assert_eq!(stm.peek(c), INCS);
+        let st = stm.server_stats();
+        let name = algo.name();
+        match algo {
+            AlgorithmKind::InvalStm => {
+                // Committing clients run the invalidation scan inline.
+                assert_eq!(st.inval_scans, INCS, "{name}: one census per commit");
+            }
+            AlgorithmKind::RInvalV1 => {
+                assert_eq!(
+                    st.batched_requests, INCS,
+                    "{name}: every commit answered through a batch"
+                );
+                assert!(st.batches >= 1 && st.batches <= INCS, "{name}: batches");
+            }
+            AlgorithmKind::RInvalV2 { .. } | AlgorithmKind::RInvalV3 { .. } => {
+                // The commit-server bumps the timestamp twice per write
+                // commit (odd to lock, even to release).
+                assert_eq!(stm.timestamp(), 2 * INCS, "{name}: server timestamp");
+            }
+            _ => {
+                // Non-invalidation kinds never touch the server counters.
+                assert_eq!(st.inval_scans, 0, "{name}: no census scans");
+                assert_eq!(st.scan_passes, 0, "{name}: no server passes");
+            }
+        }
+    }
+}
+
+/// `name()` → `parse()` must round-trip for every kind (with the
+/// parameterized kinds landing on the documented defaults).
+#[test]
+fn from_str_inverts_name() {
+    for algo in all_kinds() {
+        let parsed: AlgorithmKind = algo.name().parse().unwrap();
+        assert_eq!(parsed.name(), algo.name());
+        // The bare name yields the paper-default parameters.
+        match parsed {
+            AlgorithmKind::RInvalV2 { invalidators } => assert_eq!(invalidators, 4),
+            AlgorithmKind::RInvalV3 {
+                invalidators,
+                steps_ahead,
+            } => {
+                assert_eq!(invalidators, 4);
+                assert_eq!(steps_ahead, 4);
+            }
+            _ => {}
+        }
+    }
+    for name in AlgorithmKind::NAMES {
+        let parsed: AlgorithmKind = name.parse().unwrap();
+        assert_eq!(parsed.name(), name);
+    }
+}
+
+#[test]
+fn from_str_accepts_parameter_suffixes() {
+    assert_eq!(
+        "rinval-v2:8".parse::<AlgorithmKind>().unwrap(),
+        AlgorithmKind::RInvalV2 { invalidators: 8 }
+    );
+    assert_eq!(
+        "rinval-v3:8:2".parse::<AlgorithmKind>().unwrap(),
+        AlgorithmKind::RInvalV3 {
+            invalidators: 8,
+            steps_ahead: 2
+        }
+    );
+}
+
+#[test]
+fn from_str_rejects_junk() {
+    for bad in [
+        "rstm",
+        "",
+        "norec:2",        // no parameters on a fixed kind
+        "rinval-v2:x",    // non-numeric parameter
+        "rinval-v2:1:2",  // too many parameters for V2
+        "rinval-v3:1:2:3",
+        "RINVAL-V2",      // names are case-sensitive and canonical
+    ] {
+        let e = bad.parse::<AlgorithmKind>().unwrap_err();
+        let msg = e.to_string();
+        assert!(msg.contains("norec"), "error must list accepted names: {msg}");
+    }
+}

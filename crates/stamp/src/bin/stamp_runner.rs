@@ -13,23 +13,6 @@
 use rinval::{AlgorithmKind, Stm};
 use stamp::App;
 
-fn parse_algorithm(name: &str) -> Option<AlgorithmKind> {
-    Some(match name {
-        "coarse-lock" => AlgorithmKind::CoarseLock,
-        "tml" => AlgorithmKind::Tml,
-        "norec" => AlgorithmKind::NOrec,
-        "tl2" => AlgorithmKind::Tl2,
-        "invalstm" => AlgorithmKind::InvalStm,
-        "rinval-v1" => AlgorithmKind::RInvalV1,
-        "rinval-v2" => AlgorithmKind::RInvalV2 { invalidators: 4 },
-        "rinval-v3" => AlgorithmKind::RInvalV3 {
-            invalidators: 4,
-            steps_ahead: 4,
-        },
-        _ => return None,
-    })
-}
-
 fn parse_app(name: &str) -> Option<App> {
     App::ALL.into_iter().find(|a| a.name() == name)
 }
@@ -65,13 +48,12 @@ fn run_one(app: App, algo: AlgorithmKind, threads: usize) {
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let app_arg = args.get(1).map(String::as_str).unwrap_or("all");
-    let algo = match parse_algorithm(args.get(2).map(String::as_str).unwrap_or("rinval-v2")) {
-        Some(a) => a,
-        None => {
-            eprintln!(
-                "unknown algorithm; choose from coarse-lock, tml, norec, tl2, invalstm, \
-                 rinval-v1, rinval-v2, rinval-v3"
-            );
+    // The canonical parser lives on AlgorithmKind (FromStr); its error
+    // already lists AlgorithmKind::NAMES and the parameter syntax.
+    let algo: AlgorithmKind = match args.get(2).map(String::as_str).unwrap_or("rinval-v2").parse() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
             std::process::exit(1);
         }
     };

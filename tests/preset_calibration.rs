@@ -81,19 +81,29 @@ fn genome_profile_is_read_dominated() {
 
 /// labyrinth/bayes: transactional work is a sliver of total time. Run
 /// with profiling and check "other" dominates even at this small scale.
+///
+/// This is a wall-clock ratio: on an oversubscribed host (1-core CI) a
+/// single deschedule inside a probed phase can inflate it past the bar,
+/// so allow a couple of re-measurements before declaring failure.
 #[test]
 fn labyrinth_and_bayes_are_nontx_dominated() {
     for app in [stamp::App::Labyrinth, stamp::App::Bayes] {
-        let stm = Stm::builder(AlgorithmKind::NOrec)
-            .heap_words(app.default_heap_words())
-            .profile(true)
-            .build();
-        let (report, verdict) = app.run_small(&stm, 2);
-        verdict.unwrap_or_else(|e| panic!("{}: {e}", app.name()));
-        let busy = report.wall * 2;
-        let (v, c, o) = report.stats.breakdown(busy);
+        let mut last = (0.0, 0.0, 0.0);
+        let dominated = (0..3).any(|_| {
+            let stm = Stm::builder(AlgorithmKind::NOrec)
+                .heap_words(app.default_heap_words())
+                .profile(true)
+                .build();
+            let (report, verdict) = app.run_small(&stm, 2);
+            verdict.unwrap_or_else(|e| panic!("{}: {e}", app.name()));
+            let busy = report.wall * 2;
+            let (v, c, o) = report.stats.breakdown(busy);
+            last = (v, c, o);
+            o > v + c
+        });
+        let (v, c, o) = last;
         assert!(
-            o > v + c,
+            dominated,
             "{}: other {o:.2} should dominate validation {v:.2} + commit {c:.2}",
             app.name()
         );
