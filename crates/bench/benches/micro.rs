@@ -199,8 +199,15 @@ fn dispatch_pair(algo: AlgorithmKind, ops: u64) -> (f64, f64) {
 }
 
 fn dispatch_gate(ops: u64) -> bool {
-    // Generous tolerance: both paths are a handful of ns, and debug-free
-    // release timing on a shared host still jitters a few percent.
+    // With `failpoints` compiled out — the production configuration — the
+    // fault-containment layer must be invisible on the read path: the
+    // facade must stay within 5% of the enum-dispatch baseline. With the
+    // feature on, the armed-site checks are real work; keep the generous
+    // tolerance (both paths are a handful of ns, and release timing on a
+    // shared host still jitters a few percent).
+    #[cfg(not(feature = "failpoints"))]
+    const TOLERANCE: f64 = 1.05;
+    #[cfg(feature = "failpoints")]
     const TOLERANCE: f64 = 1.25;
     println!("\ndispatch gate: facade read vs. per-read enum dispatch [ns/read]");
     println!(

@@ -10,7 +10,7 @@ use super::{sealed, Algorithm};
 use crate::heap::Handle;
 use crate::sync::Backoff;
 use crate::txn::Txn;
-use crate::TxResult;
+use crate::{Aborted, TxResult};
 use std::sync::atomic::Ordering;
 
 /// Engine for [`crate::AlgorithmKind::CoarseLock`].
@@ -20,8 +20,8 @@ impl sealed::Sealed for CoarseLock {}
 
 impl Algorithm for CoarseLock {
     #[inline]
-    fn begin(tx: &mut Txn<'_>) {
-        begin(tx);
+    fn begin(tx: &mut Txn<'_>) -> TxResult<()> {
+        begin(tx)
     }
 
     #[inline]
@@ -48,7 +48,7 @@ impl Algorithm for CoarseLock {
     }
 }
 
-pub(crate) fn begin(tx: &mut Txn<'_>) {
+pub(crate) fn begin(tx: &mut Txn<'_>) -> TxResult<()> {
     let ts = &tx.stm.timestamp;
     let mut bk = Backoff::new();
     loop {
@@ -59,7 +59,14 @@ pub(crate) fn begin(tx: &mut Txn<'_>) {
                 .is_ok()
         {
             tx.snapshot = t;
-            return;
+            // Everything from here to the release store runs under the
+            // lock; the flag gates rollback so an abort (or panic repair)
+            // after a *failed* begin never touches the timestamp.
+            tx.lock_held = true;
+            return Ok(());
+        }
+        if bk.is_yielding() && tx.deadline_expired() {
+            return Err(Aborted);
         }
         bk.snooze();
     }
@@ -82,9 +89,15 @@ pub(crate) fn commit(tx: &mut Txn<'_>) {
     tx.stm
         .timestamp
         .store(tx.snapshot + 2, Ordering::SeqCst);
+    tx.lock_held = false;
 }
 
 pub(crate) fn abort(tx: &mut Txn<'_>) {
+    if !tx.lock_held {
+        // Begin gave up before acquiring (deadline): nothing to roll back
+        // and, crucially, no lock to release.
+        return;
+    }
     // Each address appears once in the undo log, holding its pre-image.
     for e in tx.ws.entries() {
         tx.stm.heap.store(Handle::from_addr(e.addr), e.val);
@@ -92,4 +105,5 @@ pub(crate) fn abort(tx: &mut Txn<'_>) {
     tx.stm
         .timestamp
         .store(tx.snapshot + 2, Ordering::SeqCst);
+    tx.lock_held = false;
 }

@@ -18,6 +18,7 @@
 //! committed write escapes a conflicting reader.
 
 use super::{registry_begin, registry_end, sealed, Algorithm};
+use crate::faults;
 use crate::heap::Handle;
 use crate::registry::{TX_ALIVE, TX_INVALIDATED};
 use crate::stats::ServerCounters;
@@ -51,6 +52,18 @@ impl Algorithm for InvalStm {
     fn cleanup_commit(tx: &mut Txn<'_>) {
         registry_end(tx);
     }
+
+    #[inline]
+    fn cleanup_panic(tx: &mut Txn<'_>) {
+        // Same seqlock repair as NOrec (see its `cleanup_panic`): a panic
+        // inside the commit critical section must not strand the
+        // timestamp odd.
+        if tx.lock_held {
+            tx.stm.timestamp.store(tx.snapshot + 2, Ordering::SeqCst);
+            tx.lock_held = false;
+        }
+        Self::cleanup_abort(tx);
+    }
 }
 
 /// The family read path, monomorphized over whether the reader must wait
@@ -76,6 +89,9 @@ pub(crate) fn read_impl<const CHECK_INVAL_SERVER: bool>(
     };
     let mut bk = Backoff::new();
     loop {
+        if bk.is_yielding() && tx.deadline_expired() {
+            return Err(Aborted);
+        }
         let x1 = ts.load(Ordering::SeqCst);
         if x1 & 1 == 1 {
             bk.snooze();
@@ -93,7 +109,13 @@ pub(crate) fn read_impl<const CHECK_INVAL_SERVER: bool>(
         if let Some(iv) = my_inval {
             if iv.load(Ordering::SeqCst) < x1 {
                 // Our invalidation-server is still processing an older
-                // commit; wait for it so the status check below is current.
+                // commit; wait for it so the status check below is
+                // current. If the engine degraded (servers dead), the
+                // lagging timestamp will never catch up — abort so the
+                // retry loop can re-resolve to the InvalSTM engine.
+                if tx.stm.degraded.load(Ordering::SeqCst) {
+                    return Err(Aborted);
+                }
                 bk.snooze();
                 continue;
             }
@@ -117,6 +139,9 @@ pub(crate) fn commit(tx: &mut Txn<'_>) -> TxResult<()> {
     // Algorithm 1, line 13: spin until the timestamp is even and we win the
     // CAS that makes it odd.
     let t = loop {
+        if bk.is_yielding() && tx.deadline_expired() {
+            return Err(Aborted);
+        }
         let cur = ts.load(Ordering::SeqCst);
         if cur & 1 == 1 {
             bk.snooze();
@@ -132,6 +157,11 @@ pub(crate) fn commit(tx: &mut Txn<'_>) -> TxResult<()> {
             Err(_) => bk.snooze(),
         }
     };
+    // Critical section: `cleanup_panic` releases at snapshot+2 if
+    // anything between here and a release store unwinds.
+    tx.snapshot = t;
+    tx.lock_held = true;
+    faults::maybe_panic(&tx.stm.faults, faults::site::TXN_COMMIT_PANIC);
     // Algorithm 1, lines 15–16: the flag may have been set between our
     // pre-check and the CAS; recheck under the lock.
     fence(Ordering::SeqCst);
@@ -139,6 +169,7 @@ pub(crate) fn commit(tx: &mut Txn<'_>) -> TxResult<()> {
         // Release with a version bump: we published nothing, but readers
         // must conservatively retry rather than pair with a stale parity.
         ts.store(t + 2, Ordering::SeqCst);
+        tx.lock_held = false;
         return Err(Aborted);
     }
     // Algorithm 1, lines 15–19 fused into a single walk of the `live`
@@ -165,6 +196,7 @@ pub(crate) fn commit(tx: &mut Txn<'_>) -> TxResult<()> {
     ServerCounters::add(&st.inval_slots_visited, visited);
     if doomed.len() as u64 > budget as u64 {
         ts.store(t + 2, Ordering::SeqCst);
+        tx.lock_held = false;
         return Err(Aborted);
     }
     for &i in &doomed {
@@ -181,5 +213,6 @@ pub(crate) fn commit(tx: &mut Txn<'_>) -> TxResult<()> {
     }
     // Algorithm 1, line 21: release the sequence lock.
     ts.store(t + 2, Ordering::SeqCst);
+    tx.lock_held = false;
     Ok(())
 }

@@ -79,8 +79,17 @@ pub(crate) trait Algorithm: sealed::Sealed + 'static {
     /// acquisition). Runs after [`Algorithm::pin`]. Default: nothing —
     /// the invalidation family's begin is entirely the registry work its
     /// `pin` override performs.
+    ///
+    /// Fallible because a begin that *waits* (coarse lock acquisition,
+    /// even-timestamp spins) must be able to give up when the attempt's
+    /// deadline expires ([`crate::ThreadHandle::try_run_for`]); `Err`
+    /// routes through [`Algorithm::cleanup_abort`], so engines whose
+    /// abort path assumes an acquired lock must guard it (they track
+    /// acquisition in `Txn::lock_held` / `Txn::tml_writer`).
     #[inline]
-    fn begin(_tx: &mut Txn<'_>) {}
+    fn begin(_tx: &mut Txn<'_>) -> TxResult<()> {
+        Ok(())
+    }
 
     /// Transactionally reads the word at `h`.
     fn read(tx: &mut Txn<'_>, h: Handle) -> TxResult<u64>;
@@ -121,6 +130,25 @@ pub(crate) trait Algorithm: sealed::Sealed + 'static {
     #[inline]
     fn cleanup_abort(tx: &mut Txn<'_>) {
         Self::cleanup_commit(tx);
+    }
+
+    /// Repairs shared protocol state after a panic unwound out of the
+    /// body or the engine's own phases; runs exactly once on the unwind
+    /// path (inside `catch_unwind`, before the panic resumes) so a
+    /// panicking transaction cannot poison the STM for other threads.
+    ///
+    /// Default: [`Algorithm::cleanup_abort`] — correct for engines whose
+    /// abort path already releases everything they can hold at any panic
+    /// point (coarse lock and TML roll back their undo logs and release
+    /// the seqlock they track via `lock_held`/`tml_writer`; TL2's commit
+    /// releases its orecs on every internal path and its clock CAS-free
+    /// `fetch_add` cannot strand an odd value). Engines that can panic
+    /// *between* seqlock acquisition and release (NOrec, InvalSTM) or
+    /// with a commit request posted to a server (RInval family) override
+    /// this to release the lock / withdraw the request first.
+    #[inline]
+    fn cleanup_panic(tx: &mut Txn<'_>) {
+        Self::cleanup_abort(tx);
     }
 }
 

@@ -15,6 +15,7 @@
 //! release store publishes the write-back.
 
 use super::{sealed, Algorithm};
+use crate::faults;
 use crate::heap::Handle;
 use crate::sync::Backoff;
 use crate::txn::Txn;
@@ -29,8 +30,8 @@ impl sealed::Sealed for NOrec {}
 
 impl Algorithm for NOrec {
     #[inline]
-    fn begin(tx: &mut Txn<'_>) {
-        begin(tx);
+    fn begin(tx: &mut Txn<'_>) -> TxResult<()> {
+        begin(tx)
     }
 
     #[inline]
@@ -42,16 +43,34 @@ impl Algorithm for NOrec {
     fn commit(tx: &mut Txn<'_>) -> TxResult<()> {
         commit(tx)
     }
+
+    #[inline]
+    fn cleanup_panic(tx: &mut Txn<'_>) {
+        // A panic between the commit CAS and the release store would
+        // strand the seqlock odd, wedging every other thread. Release it
+        // with a version bump (exactly the aborted-commit release) so the
+        // system stays live; nothing was written back before the only
+        // panic window (the commit failpoint fires before write-back), so
+        // the bump publishes no partial state.
+        if tx.lock_held {
+            tx.stm.timestamp.store(tx.snapshot + 2, Ordering::SeqCst);
+            tx.lock_held = false;
+        }
+        Self::cleanup_abort(tx);
+    }
 }
 
-pub(crate) fn begin(tx: &mut Txn<'_>) {
+pub(crate) fn begin(tx: &mut Txn<'_>) -> TxResult<()> {
     let ts = &tx.stm.timestamp;
     let mut bk = Backoff::new();
     loop {
         let t = ts.load(Ordering::SeqCst);
         if t & 1 == 0 {
             tx.snapshot = t;
-            return;
+            return Ok(());
+        }
+        if bk.is_yielding() && tx.deadline_expired() {
+            return Err(Aborted);
         }
         bk.snooze();
     }
@@ -63,6 +82,9 @@ fn validate(tx: &mut Txn<'_>) -> TxResult<u64> {
     let ts = &tx.stm.timestamp;
     let mut bk = Backoff::new();
     loop {
+        if bk.is_yielding() && tx.deadline_expired() {
+            return Err(Aborted);
+        }
         let t = ts.load(Ordering::SeqCst);
         if t & 1 == 1 {
             bk.snooze();
@@ -124,14 +146,22 @@ pub(crate) fn commit(tx: &mut Txn<'_>) -> TxResult<()> {
         ) {
             Ok(_) => break,
             Err(_) => {
+                if bk.is_yielding() && tx.deadline_expired() {
+                    return Err(Aborted);
+                }
                 bk.snooze();
                 tx.snapshot = validate(tx)?;
             }
         }
     }
+    // Critical section: the seqlock is odd and this thread owns it. The
+    // flag lets `cleanup_panic` release it if anything below unwinds.
+    tx.lock_held = true;
+    faults::maybe_panic(&tx.stm.faults, faults::site::TXN_COMMIT_PANIC);
     for e in tx.ws.entries() {
         tx.stm.heap.store(Handle::from_addr(e.addr), e.val);
     }
     ts.store(tx.snapshot + 2, Ordering::SeqCst);
+    tx.lock_held = false;
     Ok(())
 }

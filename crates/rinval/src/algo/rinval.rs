@@ -16,8 +16,11 @@
 //! mechanism for removing coherence traffic from the critical path.
 
 use super::{invalstm, registry_begin, registry_end, sealed, Algorithm};
+use crate::faults;
 use crate::heap::Handle;
 use crate::registry::{REQ_ABORTED, REQ_COMMITTED, REQ_IDLE, REQ_PENDING, TX_INVALIDATED};
+use crate::server::withdraw_request;
+use crate::stats::ServerCounters;
 use crate::sync::Backoff;
 use crate::txn::Txn;
 use crate::{Aborted, TxResult};
@@ -52,6 +55,17 @@ macro_rules! rinval_engine {
             fn cleanup_commit(tx: &mut Txn<'_>) {
                 registry_end(tx);
             }
+
+            #[inline]
+            fn cleanup_panic(tx: &mut Txn<'_>) {
+                // A panic with a commit request posted must not leave the
+                // server a dangling write-set pointer (the backing buffer
+                // lives in the unwinding ThreadHandle). Withdraw it — or,
+                // if a server already claimed it, wait out the verdict —
+                // before deregistering the slot.
+                let _ = withdraw_request(tx.stm, tx.slot_idx);
+                registry_end(tx);
+            }
         }
     };
 }
@@ -81,6 +95,11 @@ pub(crate) fn client_commit(tx: &mut Txn<'_>) -> TxResult<()> {
         // lines 2–3): each read already checked the invalidation flag.
         return Ok(());
     }
+    // Degraded instance: the servers are gone; abort so the retry loop
+    // re-resolves this attempt's engine to InvalSTM.
+    if tx.stm.degraded.load(Ordering::SeqCst) {
+        return Err(Aborted);
+    }
     // Algorithm 2, line 5: bail out before bothering the server if a prior
     // commit already invalidated us. The server rechecks (its view is the
     // authoritative one).
@@ -100,25 +119,65 @@ pub(crate) fn client_commit(tx: &mut Txn<'_>) -> TxResult<()> {
     // transaction's `Txn::init` stores into fresh records) happens-before
     // the server's acquire load of PENDING.
     slot.request_state.store(REQ_PENDING, Ordering::SeqCst);
+    faults::maybe_panic(&tx.stm.faults, faults::site::CLIENT_PUBLISH_DELAY);
     // Summary-map publish, strictly *after* the PENDING store: a server
     // that observes the set bit is guaranteed (SeqCst total order) to also
     // observe REQ_PENDING, so it may clear the bit at pickup without ever
-    // losing a request. The server clears the bit; we never do.
+    // losing a request. Only the server — or a withdrawal this client
+    // performs itself — clears the bit.
     tx.stm.registry.pending().set(tx.slot_idx);
+    faults::maybe_panic(&tx.stm.faults, faults::site::TXN_COMMIT_PANIC);
 
-    // Algorithm 2, line 8: spin on our own cache line.
+    // Algorithm 2, line 8: spin on our own cache line. The wait is
+    // *bounded*: once the spinner degrades to yields, every pass re-checks
+    // the escape conditions (shutdown, degradation, the attempt deadline)
+    // and resolves the request through `withdraw_request` — which either
+    // takes a verdict the server already produced or retracts the request
+    // so no server can ever see it.
     let mut bk = Backoff::new();
     let outcome = loop {
         match slot.request_state.load(Ordering::SeqCst) {
             REQ_COMMITTED => break Ok(()),
             REQ_ABORTED => break Err(Aborted),
             _ => {
-                if bk.is_yielding() && tx.stm.shutdown.load(Ordering::SeqCst) {
-                    // Unreachable through the public API (ThreadHandle
-                    // borrows the Stm, which joins servers only after all
-                    // handles drop), but fail loudly rather than hang if
-                    // that invariant is ever broken.
-                    panic!("rinval: STM shut down with a commit request outstanding");
+                if bk.is_yielding() {
+                    if tx.stm.shutdown.load(Ordering::SeqCst) {
+                        match withdraw_request(tx.stm, tx.slot_idx) {
+                            Some(committed) => {
+                                return if committed { Ok(()) } else { Err(Aborted) }
+                            }
+                            // Unreachable through the public API
+                            // (ThreadHandle borrows the Stm, which shuts
+                            // down only after all handles drop), but fail
+                            // loudly rather than hang if that invariant
+                            // is ever broken. The withdrawal above
+                            // already retracted the payload, so the panic
+                            // is contained like any other body panic.
+                            None => panic!(
+                                "rinval: STM shut down with a commit request outstanding"
+                            ),
+                        }
+                    }
+                    if tx.stm.degraded.load(Ordering::SeqCst) {
+                        match withdraw_request(tx.stm, tx.slot_idx) {
+                            Some(true) => return Ok(()),
+                            _ => return Err(Aborted),
+                        }
+                    }
+                    if tx.deadline_expired() {
+                        match withdraw_request(tx.stm, tx.slot_idx) {
+                            Some(true) => return Ok(()),
+                            verdict => {
+                                if verdict.is_none() {
+                                    ServerCounters::add(
+                                        &tx.stm.server_stats.timed_out_requests,
+                                        1,
+                                    );
+                                }
+                                return Err(Aborted);
+                            }
+                        }
+                    }
                 }
                 bk.snooze();
             }

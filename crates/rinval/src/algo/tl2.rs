@@ -45,8 +45,9 @@ impl Algorithm for Tl2 {
     }
 
     #[inline]
-    fn begin(tx: &mut Txn<'_>) {
+    fn begin(tx: &mut Txn<'_>) -> TxResult<()> {
         begin(tx);
+        Ok(())
     }
 
     #[inline]

@@ -21,8 +21,8 @@ impl sealed::Sealed for Tml {}
 
 impl Algorithm for Tml {
     #[inline]
-    fn begin(tx: &mut Txn<'_>) {
-        begin(tx);
+    fn begin(tx: &mut Txn<'_>) -> TxResult<()> {
+        begin(tx)
     }
 
     #[inline]
@@ -48,7 +48,7 @@ impl Algorithm for Tml {
     }
 }
 
-pub(crate) fn begin(tx: &mut Txn<'_>) {
+pub(crate) fn begin(tx: &mut Txn<'_>) -> TxResult<()> {
     let ts = &tx.stm.timestamp;
     let mut bk = Backoff::new();
     loop {
@@ -56,7 +56,12 @@ pub(crate) fn begin(tx: &mut Txn<'_>) {
         if t & 1 == 0 {
             tx.snapshot = t;
             tx.tml_writer = false;
-            return;
+            return Ok(());
+        }
+        if bk.is_yielding() && tx.deadline_expired() {
+            // `tml_writer` is still false, so cleanup_abort's rollback
+            // (guarded on it) is a no-op.
+            return Err(Aborted);
         }
         bk.snooze();
     }

@@ -1,0 +1,413 @@
+//! Deterministic failpoint injection for the fault-containment test matrix.
+//!
+//! A [`FaultPlan`] is a fixed table of named *sites* (places in the
+//! protocol where a failure can be injected) each of which can be armed
+//! with a [`FaultAction`] and a hit budget. The plan is per-[`crate::Stm`]
+//! (held in the shared inner state), so concurrent tests in one process
+//! never interfere; the `RINVAL_FAILPOINTS` environment variable seeds the
+//! plan of every newly built `Stm` for whole-binary permutation runs.
+//!
+//! With the `failpoints` cargo feature **disabled** (the default) the plan
+//! is a zero-sized type, [`FaultPlan::hit`] is a constant `None` and every
+//! site check folds away — the production binary carries no trace of the
+//! framework (the micro-bench dispatch gate enforces this at ≤1.05×).
+//!
+//! ## Sites
+//!
+//! | name | where it fires | meaningful actions |
+//! |---|---|---|
+//! | `server.commit.stall` | commit-server, top of a scan pass | `stall`, `delay(ms)` |
+//! | `server.commit.death` | commit-server, top of a scan pass | `exit`, `panic` |
+//! | `server.inval.death` | invalidation-server, top of a pass | `exit`, `panic` |
+//! | `server.inval.lag` | invalidation-server, top of a pass | `delay(ms)` |
+//! | `client.publish.delay` | between the client's `REQ_PENDING` store and its summary-bit set | `delay(ms)` |
+//! | `txn.body.panic` | start of every transaction attempt's body | `panic` |
+//! | `txn.commit.panic` | inside commit, after the engine acquired the seqlock (NOrec/InvalSTM) or posted its request (RInval) | `panic` |
+//! | `heap.alloc.fail` | [`crate::Txn::alloc`], before touching the heap | `fail` |
+//!
+//! ## Environment syntax
+//!
+//! `RINVAL_FAILPOINTS="site=action[:times][;site=action[:times]...]"`,
+//! where `action` is one of `off`, `panic`, `exit`, `fail`, `stall`,
+//! `delay(<millis>)` and `times` bounds how many hits fire (default:
+//! unlimited). Example:
+//!
+//! ```text
+//! RINVAL_FAILPOINTS="server.commit.death=exit:1;server.inval.lag=delay(2)"
+//! ```
+//!
+//! Unknown site names or malformed actions panic at [`crate::StmBuilder::build`]
+//! time (a silently ignored failpoint would make a fault test vacuous).
+
+use std::time::Duration;
+
+/// Failpoint site identifiers; index into [`SITE_NAMES`].
+pub mod site {
+    /// Commit-server stalls at the top of a scan pass.
+    pub const SERVER_COMMIT_STALL: usize = 0;
+    /// Commit-server thread dies at the top of a scan pass.
+    pub const SERVER_COMMIT_DEATH: usize = 1;
+    /// Invalidation-server thread dies at the top of a pass.
+    pub const SERVER_INVAL_DEATH: usize = 2;
+    /// Invalidation-server delays each pass (a lagging partition).
+    pub const SERVER_INVAL_LAG: usize = 3;
+    /// Client delays between `REQ_PENDING` and the summary-bit publish.
+    pub const CLIENT_PUBLISH_DELAY: usize = 4;
+    /// Panic at the start of the transaction body.
+    pub const TXN_BODY_PANIC: usize = 5;
+    /// Panic inside commit while protocol state is exposed.
+    pub const TXN_COMMIT_PANIC: usize = 6;
+    /// Transactional allocation reports heap exhaustion.
+    pub const HEAP_ALLOC_FAIL: usize = 7;
+    /// Number of sites.
+    pub const COUNT: usize = 8;
+}
+
+/// Canonical site names, indexed by the constants in [`site`].
+pub const SITE_NAMES: [&str; site::COUNT] = [
+    "server.commit.stall",
+    "server.commit.death",
+    "server.inval.death",
+    "server.inval.lag",
+    "client.publish.delay",
+    "txn.body.panic",
+    "txn.commit.panic",
+    "heap.alloc.fail",
+];
+
+/// What an armed failpoint does when hit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Panic at the site (exercises unwind paths).
+    Panic,
+    /// The surrounding server loop returns (thread death without unwind).
+    Exit,
+    /// The operation reports failure (e.g. allocation returns no memory).
+    Fail,
+    /// The thread blocks at the site until the site is disarmed, the STM
+    /// shuts down or the engine degrades (whichever the site polls).
+    Stall,
+    /// The thread sleeps this long at the site, once per hit.
+    Delay(Duration),
+}
+
+#[cfg(feature = "failpoints")]
+mod imp {
+    use super::{site, FaultAction, SITE_NAMES};
+    use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+    use std::time::Duration;
+
+    const ACT_OFF: u32 = 0;
+    const ACT_PANIC: u32 = 1;
+    const ACT_EXIT: u32 = 2;
+    const ACT_FAIL: u32 = 3;
+    const ACT_STALL: u32 = 4;
+    const ACT_DELAY: u32 = 5;
+
+    /// One site's armed state (lock-free; `action` doubles as the armed
+    /// flag so the unarmed fast path is a single relaxed load).
+    #[derive(Default)]
+    struct SiteState {
+        action: AtomicU32,
+        /// Delay length in microseconds (for `ACT_DELAY`).
+        arg_us: AtomicU64,
+        /// Remaining hits before the site self-disarms; `u32::MAX` means
+        /// unlimited.
+        remaining: AtomicU32,
+    }
+
+    /// The real failpoint table (see the module docs).
+    #[derive(Default)]
+    pub struct FaultPlan {
+        sites: [SiteState; site::COUNT],
+    }
+
+    impl std::fmt::Debug for FaultPlan {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            let armed: Vec<&str> = (0..site::COUNT)
+                .filter(|&s| self.sites[s].action.load(Ordering::Relaxed) != ACT_OFF)
+                .map(|s| SITE_NAMES[s])
+                .collect();
+            f.debug_struct("FaultPlan").field("armed", &armed).finish()
+        }
+    }
+
+    impl FaultPlan {
+        /// An empty plan: every site disarmed.
+        pub(crate) fn new() -> FaultPlan {
+            FaultPlan::default()
+        }
+
+        /// Arms `site_idx` with `action` for `times` hits (`None` =
+        /// unlimited).
+        pub fn arm(&self, site_idx: usize, action: FaultAction, times: Option<u32>) {
+            let s = &self.sites[site_idx];
+            let (code, arg) = match action {
+                FaultAction::Panic => (ACT_PANIC, 0),
+                FaultAction::Exit => (ACT_EXIT, 0),
+                FaultAction::Fail => (ACT_FAIL, 0),
+                FaultAction::Stall => (ACT_STALL, 0),
+                FaultAction::Delay(d) => (ACT_DELAY, d.as_micros() as u64),
+            };
+            s.arg_us.store(arg, Ordering::Relaxed);
+            s.remaining
+                .store(times.unwrap_or(u32::MAX), Ordering::Relaxed);
+            // Action last: a concurrent hit that observes the action also
+            // observes a budget (SeqCst orders it after the stores above).
+            s.action.store(code, Ordering::SeqCst);
+        }
+
+        /// Disarms `site_idx` (armed [`FaultAction::Stall`] loops observe
+        /// this and resume).
+        pub fn disarm(&self, site_idx: usize) {
+            self.sites[site_idx].action.store(ACT_OFF, Ordering::SeqCst);
+        }
+
+        /// True if the site is currently armed (stall loops poll this).
+        pub fn armed(&self, site_idx: usize) -> bool {
+            self.sites[site_idx].action.load(Ordering::SeqCst) != ACT_OFF
+        }
+
+        /// Consumes one hit of `site_idx`, returning the action to perform.
+        ///
+        /// `None` when the site is unarmed or its budget is exhausted.
+        /// [`FaultAction::Stall`] does not consume budget — the call site
+        /// loops on [`FaultPlan::armed`] instead.
+        #[inline]
+        pub fn hit(&self, site_idx: usize) -> Option<FaultAction> {
+            let s = &self.sites[site_idx];
+            let code = s.action.load(Ordering::Relaxed);
+            if code == ACT_OFF {
+                return None;
+            }
+            if code == ACT_STALL {
+                return Some(FaultAction::Stall);
+            }
+            // Claim one unit of budget; the thread that takes the last unit
+            // disarms the site.
+            let mut cur = s.remaining.load(Ordering::Relaxed);
+            loop {
+                if cur == 0 {
+                    return None;
+                }
+                if cur == u32::MAX {
+                    break; // unlimited: no decrement
+                }
+                match s.remaining.compare_exchange_weak(
+                    cur,
+                    cur - 1,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        if cur == 1 {
+                            s.action.store(ACT_OFF, Ordering::SeqCst);
+                        }
+                        break;
+                    }
+                    Err(c) => cur = c,
+                }
+            }
+            Some(match code {
+                ACT_PANIC => FaultAction::Panic,
+                ACT_EXIT => FaultAction::Exit,
+                ACT_FAIL => FaultAction::Fail,
+                ACT_DELAY => {
+                    FaultAction::Delay(Duration::from_micros(s.arg_us.load(Ordering::Relaxed)))
+                }
+                _ => return None,
+            })
+        }
+
+        /// Arms sites from an `RINVAL_FAILPOINTS`-syntax spec string.
+        ///
+        /// # Panics
+        /// On unknown site names or malformed actions — a typo must not
+        /// silently disable a fault test.
+        pub fn arm_from_spec(&self, spec: &str) {
+            for entry in spec.split(';').filter(|e| !e.trim().is_empty()) {
+                let (name, rest) = entry
+                    .split_once('=')
+                    .unwrap_or_else(|| panic!("RINVAL_FAILPOINTS: missing '=' in '{entry}'"));
+                let name = name.trim();
+                let idx = SITE_NAMES
+                    .iter()
+                    .position(|&n| n == name)
+                    .unwrap_or_else(|| panic!("RINVAL_FAILPOINTS: unknown site '{name}'"));
+                let (action_s, times) = match rest.rsplit_once(':') {
+                    // `delay(5):3` splits on the last ':'; a non-numeric
+                    // tail means the ':' belonged to nothing and the whole
+                    // rest is the action.
+                    Some((a, t)) => match t.trim().parse::<u32>() {
+                        Ok(n) => (a.trim(), Some(n)),
+                        Err(_) => (rest.trim(), None),
+                    },
+                    None => (rest.trim(), None),
+                };
+                let action = match action_s {
+                    "off" => {
+                        self.disarm(idx);
+                        continue;
+                    }
+                    "panic" => FaultAction::Panic,
+                    "exit" => FaultAction::Exit,
+                    "fail" => FaultAction::Fail,
+                    "stall" => FaultAction::Stall,
+                    a if a.starts_with("delay(") && a.ends_with(')') => {
+                        let ms: u64 = a["delay(".len()..a.len() - 1].parse().unwrap_or_else(|_| {
+                            panic!("RINVAL_FAILPOINTS: bad delay in '{entry}'")
+                        });
+                        FaultAction::Delay(Duration::from_millis(ms))
+                    }
+                    _ => panic!("RINVAL_FAILPOINTS: unknown action '{action_s}'"),
+                };
+                self.arm(idx, action, times);
+            }
+        }
+
+        /// Seeds the plan from the `RINVAL_FAILPOINTS` environment variable
+        /// (no-op when unset).
+        pub fn arm_from_env(&self) {
+            if let Ok(spec) = std::env::var("RINVAL_FAILPOINTS") {
+                self.arm_from_spec(&spec);
+            }
+        }
+    }
+}
+
+#[cfg(not(feature = "failpoints"))]
+mod imp {
+    use super::FaultAction;
+
+    /// Zero-sized stand-in when the `failpoints` feature is off: every
+    /// method is a no-op and [`FaultPlan::hit`] is a constant `None`, so
+    /// site checks fold away entirely.
+    #[derive(Debug, Default)]
+    pub struct FaultPlan;
+
+    impl FaultPlan {
+        /// The (only) plan value without the `failpoints` feature.
+        pub(crate) fn new() -> FaultPlan {
+            FaultPlan
+        }
+
+        /// No-op without the `failpoints` feature.
+        pub fn arm(&self, _site_idx: usize, _action: FaultAction, _times: Option<u32>) {}
+
+        /// No-op without the `failpoints` feature.
+        pub fn disarm(&self, _site_idx: usize) {}
+
+        /// Always `false` without the `failpoints` feature.
+        pub fn armed(&self, _site_idx: usize) -> bool {
+            false
+        }
+
+        /// Always `None` without the `failpoints` feature.
+        #[inline(always)]
+        pub fn hit(&self, _site_idx: usize) -> Option<FaultAction> {
+            None
+        }
+
+        /// No-op without the `failpoints` feature.
+        pub fn arm_from_spec(&self, _spec: &str) {}
+
+        /// No-op without the `failpoints` feature.
+        pub fn arm_from_env(&self) {}
+    }
+}
+
+pub use imp::FaultPlan;
+
+/// Panics if `plan` has `site_idx` armed with [`FaultAction::Panic`];
+/// sleeps through a [`FaultAction::Delay`]. Other actions are ignored —
+/// the helper serves the sites whose only meaningful faults are
+/// panic/delay, keeping call sites to one line.
+#[inline]
+pub(crate) fn maybe_panic(plan: &FaultPlan, site_idx: usize) {
+    match plan.hit(site_idx) {
+        Some(FaultAction::Panic) => panic!("failpoint {}", SITE_NAMES[site_idx]),
+        Some(FaultAction::Delay(d)) => std::thread::sleep(d),
+        _ => {}
+    }
+}
+
+#[cfg(all(test, feature = "failpoints"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unarmed_site_hits_nothing() {
+        let p = FaultPlan::default();
+        assert_eq!(p.hit(site::TXN_BODY_PANIC), None);
+        assert!(!p.armed(site::TXN_BODY_PANIC));
+    }
+
+    #[test]
+    fn budget_counts_down_and_disarms() {
+        let p = FaultPlan::default();
+        p.arm(site::HEAP_ALLOC_FAIL, FaultAction::Fail, Some(2));
+        assert_eq!(p.hit(site::HEAP_ALLOC_FAIL), Some(FaultAction::Fail));
+        assert_eq!(p.hit(site::HEAP_ALLOC_FAIL), Some(FaultAction::Fail));
+        assert_eq!(p.hit(site::HEAP_ALLOC_FAIL), None);
+        assert!(!p.armed(site::HEAP_ALLOC_FAIL));
+    }
+
+    #[test]
+    fn unlimited_budget_never_disarms() {
+        let p = FaultPlan::default();
+        p.arm(site::SERVER_INVAL_LAG, FaultAction::Exit, None);
+        for _ in 0..1000 {
+            assert_eq!(p.hit(site::SERVER_INVAL_LAG), Some(FaultAction::Exit));
+        }
+    }
+
+    #[test]
+    fn stall_does_not_consume_budget() {
+        let p = FaultPlan::default();
+        p.arm(site::SERVER_COMMIT_STALL, FaultAction::Stall, Some(1));
+        assert_eq!(p.hit(site::SERVER_COMMIT_STALL), Some(FaultAction::Stall));
+        assert_eq!(p.hit(site::SERVER_COMMIT_STALL), Some(FaultAction::Stall));
+        assert!(p.armed(site::SERVER_COMMIT_STALL));
+        p.disarm(site::SERVER_COMMIT_STALL);
+        assert_eq!(p.hit(site::SERVER_COMMIT_STALL), None);
+    }
+
+    #[test]
+    fn spec_parsing_arms_sites() {
+        let p = FaultPlan::default();
+        p.arm_from_spec("server.commit.death=exit:1; server.inval.lag=delay(7) ;txn.body.panic=panic");
+        assert_eq!(p.hit(site::SERVER_COMMIT_DEATH), Some(FaultAction::Exit));
+        assert_eq!(p.hit(site::SERVER_COMMIT_DEATH), None);
+        assert_eq!(
+            p.hit(site::SERVER_INVAL_LAG),
+            Some(FaultAction::Delay(std::time::Duration::from_millis(7)))
+        );
+        assert_eq!(p.hit(site::TXN_BODY_PANIC), Some(FaultAction::Panic));
+        assert_eq!(p.hit(site::TXN_BODY_PANIC), Some(FaultAction::Panic));
+    }
+
+    #[test]
+    fn spec_off_disarms() {
+        let p = FaultPlan::default();
+        p.arm(site::TXN_BODY_PANIC, FaultAction::Panic, None);
+        p.arm_from_spec("txn.body.panic=off");
+        assert_eq!(p.hit(site::TXN_BODY_PANIC), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown site")]
+    fn spec_unknown_site_panics() {
+        FaultPlan::default().arm_from_spec("no.such.site=panic");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown action")]
+    fn spec_unknown_action_panics() {
+        FaultPlan::default().arm_from_spec("txn.body.panic=explode");
+    }
+
+    #[test]
+    fn site_names_match_count() {
+        assert_eq!(SITE_NAMES.len(), site::COUNT);
+    }
+}

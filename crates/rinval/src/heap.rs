@@ -433,7 +433,13 @@ impl Heap {
     /// Already-matured blocks keep stamp 0 (reclaimable immediately:
     /// maturity is monotone because the era never decreases).
     pub(crate) fn pool_flush(&self, cache: &mut HeapCache) {
-        let mut pool = self.pool.lock().unwrap();
+        // Poison-tolerant: this runs from ThreadHandle::drop, possibly
+        // while unwinding a body panic; the pool (a plain free-list) is
+        // never left half-updated by a holder's panic.
+        let mut pool = self
+            .pool
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         for (len, bin) in cache.bins.iter_mut().enumerate() {
             for addr in bin.drain(..) {
                 pool.push((0, addr, len as u32));

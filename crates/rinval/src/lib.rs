@@ -52,6 +52,7 @@
 
 pub mod bloom;
 pub mod cm;
+pub mod faults;
 pub mod policy;
 pub mod heap;
 pub mod logs;
@@ -64,6 +65,7 @@ mod algo;
 mod server;
 mod txn;
 
+pub use faults::{FaultAction, FaultPlan};
 pub use heap::{Handle, Heap, HeapStats};
 pub use policy::CmPolicy;
 pub use stats::{PhaseStats, ServerStats};
@@ -75,7 +77,8 @@ use registry::Registry;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use sync::CachePadded;
+use std::time::Duration;
+use sync::{CachePadded, Heartbeat};
 
 /// Error type signalling that the current transaction attempt must abort.
 ///
@@ -96,6 +99,60 @@ impl std::error::Error for Aborted {}
 
 /// Result of a transactional operation.
 pub type TxResult<T> = Result<T, Aborted>;
+
+/// Why a bounded transaction run ([`ThreadHandle::try_run_for`]) gave up.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TxError {
+    /// The final attempt aborted (conflict / user abort) with no deadline
+    /// pressure — indistinguishable from [`ThreadHandle::try_run`] failing.
+    Aborted,
+    /// The deadline expired: waits were cut short and any posted commit
+    /// request was withdrawn (or its verdict taken — a `Timeout` is always
+    /// a *non*-commit; a verdict of `COMMITTED` arriving at the deadline
+    /// is returned as success instead).
+    Timeout,
+}
+
+impl std::fmt::Display for TxError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TxError::Aborted => write!(f, "transaction aborted"),
+            TxError::Timeout => write!(f, "transaction deadline expired"),
+        }
+    }
+}
+
+impl std::error::Error for TxError {}
+
+/// Liveness supervision for the RInval server threads (see
+/// [`StmBuilder::watchdog`] and DESIGN.md §11).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WatchdogConfig {
+    /// Poll period of the watchdog thread.
+    pub interval: Duration,
+    /// Consecutive silent polls of a busy seat before the server counts as
+    /// stalled and the instance degrades (`interval × stall_checks` is the
+    /// effective stall timeout).
+    pub stall_checks: u32,
+    /// Total server respawns across the instance's lifetime before a death
+    /// degrades the instance instead.
+    pub max_respawns: u32,
+    /// Whether to spawn the watchdog at all. Disabled, a dead server means
+    /// clients fall back to their own bounded-wait escapes only
+    /// ([`ThreadHandle::try_run_for`]).
+    pub enabled: bool,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> WatchdogConfig {
+        WatchdogConfig {
+            interval: Duration::from_millis(2),
+            stall_checks: 250,
+            max_respawns: 3,
+            enabled: true,
+        }
+    }
+}
 
 /// Which concurrency-control algorithm an [`Stm`] instance runs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -303,6 +360,18 @@ pub(crate) struct StmInner {
     /// V3's `num_steps_ahead` in timestamp units (2 × commits).
     pub(crate) steps_ahead_ts: u64,
     pub(crate) shutdown: AtomicBool,
+    /// One-way fault flag: set by the watchdog (or [`server::degrade`])
+    /// when the server fleet is beyond repair. Remote engines resolve to
+    /// InvalSTM from then on ([`StmInner::effective_algo`]); server loops
+    /// observe it and exit.
+    pub(crate) degraded: AtomicBool,
+    /// Per-server-seat liveness beacons (seat 0 = commit-server, seat
+    /// `1 + k` = invalidation-server `k`); empty for serverless kinds.
+    pub(crate) health: Box<[Heartbeat]>,
+    /// Deterministic failpoint table (zero-sized without the `failpoints`
+    /// cargo feature).
+    pub(crate) faults: faults::FaultPlan,
+    pub(crate) watchdog: WatchdogConfig,
     pub(crate) profile: bool,
     pub(crate) cm_policy: policy::CmPolicy,
     /// Scan/batch counters maintained by servers and InvalSTM committers.
@@ -316,6 +385,20 @@ impl StmInner {
     #[inline]
     pub(crate) fn inval_server_of(&self, idx: usize) -> usize {
         idx % self.inval_ts.len().max(1)
+    }
+
+    /// The algorithm attempts should run *now*: the configured one, unless
+    /// the instance degraded — then the RInval kinds fall back to InvalSTM
+    /// (same client read path and registry protocol, no servers needed).
+    /// Resolved once per attempt, so a degradation mid-run takes effect on
+    /// the next retry.
+    #[inline]
+    pub(crate) fn effective_algo(&self) -> AlgorithmKind {
+        if self.algo.is_remote() && self.degraded.load(Ordering::SeqCst) {
+            AlgorithmKind::InvalStm
+        } else {
+            self.algo
+        }
     }
 
     /// The reclamation horizon: the minimum `start_era` over all in-flight
@@ -345,6 +428,7 @@ pub struct StmBuilder {
     profile: bool,
     cm_policy: policy::CmPolicy,
     tl2_stripes: usize,
+    watchdog: WatchdogConfig,
 }
 
 impl StmBuilder {
@@ -395,12 +479,21 @@ impl StmBuilder {
         self
     }
 
-    /// Builds the STM and spawns its server threads (if the algorithm is
-    /// remote).
-    pub fn build(self) -> Stm {
+    /// Server-liveness supervision parameters (defaults: 2 ms poll, 500 ms
+    /// stall timeout, 3 respawns). Ignored by serverless algorithms.
+    pub fn watchdog(mut self, cfg: WatchdogConfig) -> Self {
+        self.watchdog = cfg;
+        self
+    }
+
+    /// Builds the shared state without spawning any threads — the unit
+    /// tests drive server/recovery code on it directly.
+    pub(crate) fn build_inner(self) -> Arc<StmInner> {
         let invalidators = self.algo.invalidators();
         let ring_len = self.algo.steps_ahead() + 1;
-        let inner = Arc::new(StmInner {
+        let faults = faults::FaultPlan::new();
+        faults.arm_from_env();
+        Arc::new(StmInner {
             heap: Heap::with_limits(self.heap_words, self.heap_max_words),
             registry: Registry::new(self.max_threads),
             algo: self.algo,
@@ -416,6 +509,16 @@ impl StmBuilder {
                 .collect(),
             steps_ahead_ts: self.algo.steps_ahead() as u64 * 2,
             shutdown: AtomicBool::new(false),
+            degraded: AtomicBool::new(false),
+            health: (0..if self.algo.is_remote() {
+                1 + invalidators
+            } else {
+                0
+            })
+                .map(|_| Heartbeat::default())
+                .collect(),
+            faults,
+            watchdog: self.watchdog,
             profile: self.profile,
             cm_policy: self.cm_policy,
             server_stats: stats::ServerCounters::default(),
@@ -424,38 +527,37 @@ impl StmBuilder {
             } else {
                 None
             },
-        });
+        })
+    }
+
+    /// Builds the STM and spawns its server threads (if the algorithm is
+    /// remote) plus the watchdog supervising them (if enabled).
+    pub fn build(self) -> Stm {
+        let algo = self.algo;
+        let watchdog_cfg = self.watchdog;
+        let inner = self.build_inner();
 
         let mut servers: Vec<JoinHandle<()>> = Vec::new();
-        match self.algo {
-            AlgorithmKind::RInvalV1 => {
+        if algo.is_remote() {
+            servers.push(
+                server::spawn_server(&inner, server::ServerRole::Commit)
+                    .expect("spawn commit-server"),
+            );
+            for k in 0..algo.invalidators() {
+                servers.push(
+                    server::spawn_server(&inner, server::ServerRole::Inval(k))
+                        .expect("spawn invalidation-server"),
+                );
+            }
+            if watchdog_cfg.enabled {
                 let i = Arc::clone(&inner);
                 servers.push(
                     std::thread::Builder::new()
-                        .name("rinval-commit".into())
-                        .spawn(move || server::commit_server_v1(&i))
-                        .expect("spawn commit-server"),
+                        .name("rinval-watchdog".into())
+                        .spawn(move || server::watchdog(i))
+                        .expect("spawn watchdog"),
                 );
             }
-            AlgorithmKind::RInvalV2 { .. } | AlgorithmKind::RInvalV3 { .. } => {
-                let i = Arc::clone(&inner);
-                servers.push(
-                    std::thread::Builder::new()
-                        .name("rinval-commit".into())
-                        .spawn(move || server::commit_server_v2(&i))
-                        .expect("spawn commit-server"),
-                );
-                for k in 0..invalidators {
-                    let i = Arc::clone(&inner);
-                    servers.push(
-                        std::thread::Builder::new()
-                            .name(format!("rinval-inval-{k}"))
-                            .spawn(move || server::invalidation_server(&i, k))
-                            .expect("spawn invalidation-server"),
-                    );
-                }
-            }
-            _ => {}
         }
 
         Stm { inner, servers }
@@ -484,6 +586,7 @@ impl Stm {
             profile: false,
             cm_policy: policy::CmPolicy::CommitterWins,
             tl2_stripes: 1 << 16,
+            watchdog: WatchdogConfig::default(),
         }
     }
 
@@ -582,6 +685,20 @@ impl Stm {
     pub fn registry(&self) -> &registry::Registry {
         &self.inner.registry
     }
+
+    /// True once the instance has permanently fallen back to serverless
+    /// operation (RInval kinds run as InvalSTM) after unrecoverable server
+    /// faults. See [`WatchdogConfig`] and DESIGN.md §11.
+    pub fn is_degraded(&self) -> bool {
+        self.inner.degraded.load(Ordering::SeqCst)
+    }
+
+    /// This instance's failpoint table, for arming deterministic faults in
+    /// tests (a no-op shell unless the crate was built with the
+    /// `failpoints` feature).
+    pub fn faults(&self) -> &faults::FaultPlan {
+        &self.inner.faults
+    }
 }
 
 impl Drop for Stm {
@@ -589,6 +706,15 @@ impl Drop for Stm {
         self.inner.shutdown.store(true, Ordering::SeqCst);
         for s in self.servers.drain(..) {
             let _ = s.join();
+        }
+        if self.inner.algo.is_remote() {
+            // No server answered these and none ever will: complete or
+            // resolve anything a dead server left claimed, then abort the
+            // rest, so a client that somehow still waits (a leaked handle
+            // on another thread) is released rather than hung. With the
+            // servers joined, this thread is the sole protocol writer.
+            server::recover_inflight(&self.inner);
+            server::drain_requests_abort(&self.inner);
         }
     }
 }

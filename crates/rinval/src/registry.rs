@@ -52,6 +52,16 @@ pub const REQ_PENDING: u32 = 1;
 pub const REQ_COMMITTED: u32 = 2;
 /// `request_state`: server refused the request (client was invalidated).
 pub const REQ_ABORTED: u32 = 3;
+/// `request_state`: a server CASed the request `PENDING → CLAIMED` at
+/// pickup and is processing it. The state exists for fault containment:
+/// a client that wants to *withdraw* a posted request (deadline expiry,
+/// engine degradation, handle teardown) CASes `PENDING → IDLE`; success
+/// proves no server ever saw the request, while observing `CLAIMED` means
+/// a verdict is coming and the client must wait for it (the wait is
+/// bounded by server liveness, which the watchdog enforces). Crash
+/// recovery uses the same marker: requests a dead server left `CLAIMED`
+/// are exactly the ones whose processing may have started.
+pub const REQ_CLAIMED: u32 = 4;
 
 /// Per-thread descriptor: transaction metadata + commit-request mailbox.
 ///
@@ -166,7 +176,14 @@ impl Registry {
 
     /// Claims a free slot index for a registering thread.
     pub fn claim(&self) -> Option<usize> {
-        self.free.lock().unwrap().pop()
+        // Poison-tolerant (here and in `release`): the free-list is a
+        // plain Vec whose push/pop cannot be interrupted halfway by a
+        // panic elsewhere, and `release` runs during unwinds — a poisoned
+        // mutex must not turn one thread's panic into everyone's.
+        self.free
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .pop()
     }
 
     /// Returns a slot index when its owner deregisters.
@@ -184,7 +201,10 @@ impl Registry {
         self.slots[idx].read_bf.owner_clear();
         self.pending.clear(idx);
         self.live.clear(idx);
-        self.free.lock().unwrap().push(idx);
+        self.free
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push(idx);
     }
 
     /// Owner-side transaction begin for `idx`: records the reclamation

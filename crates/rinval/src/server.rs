@@ -1,4 +1,5 @@
-//! Server threads for the RInval family.
+//! Server threads for the RInval family, plus the fault-containment layer
+//! that supervises them.
 //!
 //! * [`commit_server_v1`] — Algorithm 2's `COMMIT-SERVER LOOP`: one thread
 //!   owns the global timestamp, performs invalidation *and* write-back for
@@ -17,11 +18,17 @@
 //! * [`invalidation_server`] — Algorithm 3's `INVALIDATION-SERVER LOOP`:
 //!   chases the global timestamp in steps of 2, scanning its partition of
 //!   the registry against the published signature.
+//! * [`watchdog`] — supervises all of the above through per-seat
+//!   [`crate::sync::Heartbeat`] beacons: dead servers are respawned (after re-deriving a
+//!   consistent protocol state with [`recover_inflight`]); servers that are
+//!   alive but silent with work outstanding, or that keep dying, degrade
+//!   the instance to the serverless InvalSTM engine (see "Fault
+//!   containment" below).
 //!
 //! Servers spin with [`Backoff`] (bounded spin, then yield) instead of the
 //! paper's pinned-core busy loop so the protocol stays live on
 //! oversubscribed hosts; the logic is otherwise a transcription of
-//! Algorithms 2–4 with the two deviations documented here.
+//! Algorithms 2–4 with the deviations documented here.
 //!
 //! ## Summary-bitmap scans
 //!
@@ -56,14 +63,47 @@
 //! not just the pairwise-disjoint *write* sets — is required: two requests
 //! with disjoint writes but crossing read/write dependencies have no
 //! equivalent serial order and must not land in one batch.
+//!
+//! ## Fault containment
+//!
+//! A commit request now moves `IDLE → PENDING → CLAIMED → {COMMITTED,
+//! ABORTED} → IDLE`. The CAS from `PENDING` to [`REQ_CLAIMED`] at server
+//! pickup is the pivot of the whole recovery design: it makes *exactly
+//! one* of {a server, a withdrawing client, the post-mortem recovery walk}
+//! the owner of each request, so a request can always be accounted for no
+//! matter where its server died.
+//!
+//! Recovery leans on two protocol invariants (DESIGN.md §11):
+//!
+//! 1. **Odd timestamp ⇒ claimed requests are an admitted commit.** Both
+//!    commit-servers answer doomed requests (invalidated / over budget)
+//!    *before* bumping the timestamp, so any slot still `CLAIMED` while
+//!    the timestamp is odd passed its status checks and its commit must be
+//!    *completed*: readers spin while the timestamp is odd, so no partial
+//!    write-back was observed, and re-running invalidation + write-back is
+//!    idempotent ([`recover_inflight`] does exactly this).
+//! 2. **Even timestamp ⇒ claimed requests published nothing.** Answering
+//!    `ABORTED` is sound; the client simply retries.
+//!
+//! Degradation (`StmInner::degraded`) is one-way: every server loop
+//! re-checks the flag and exits, outstanding requests are answered
+//! `ABORTED` by [`drain_requests_abort`], and clients re-resolve their
+//! engine to InvalSTM (`StmInner::effective_algo`), which needs no servers
+//! — throughput drops, correctness doesn't.
 
 use crate::bloom::Bloom;
+use crate::faults::{self, FaultAction};
 use crate::logs::WriteEntry;
-use crate::registry::{REQ_ABORTED, REQ_COMMITTED, REQ_PENDING, TX_ALIVE, TX_INVALIDATED};
+use crate::registry::{
+    REQ_ABORTED, REQ_CLAIMED, REQ_COMMITTED, REQ_IDLE, REQ_PENDING, TX_ALIVE, TX_INVALIDATED,
+};
 use crate::stats::ServerCounters;
 use crate::sync::Backoff;
-use crate::StmInner;
+use crate::{AlgorithmKind, StmInner};
 use std::sync::atomic::{fence, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// Applies a published write-set to the heap.
 ///
@@ -153,9 +193,42 @@ fn count_conflicting(stm: &StmInner, wbf: &Bloom, skip: usize) -> u32 {
     n
 }
 
+/// Polls a server's failpoints at the top of a pass. Returns `false` when
+/// the server should exit its loop (an injected death via
+/// [`FaultAction::Exit`]); a [`FaultAction::Panic`] unwinds right here
+/// (the seat's [`crate::sync::AliveGuard`] turns either into a dead
+/// beacon). [`FaultAction::Stall`] blocks — without beating — until the
+/// site is disarmed, the STM shuts down or the instance degrades, which is
+/// exactly the "alive but silent" signature the watchdog's stall detector
+/// looks for. With the `failpoints` feature off both `hit` calls are
+/// constant `None` and the whole function folds to `true`.
+#[inline]
+fn pass_failpoints(stm: &StmInner, death_site: usize, stall_site: usize) -> bool {
+    match stm.faults.hit(death_site) {
+        Some(FaultAction::Exit) => return false,
+        Some(FaultAction::Panic) => panic!("failpoint {}", faults::SITE_NAMES[death_site]),
+        _ => {}
+    }
+    match stm.faults.hit(stall_site) {
+        Some(FaultAction::Stall) => {
+            while stm.faults.armed(stall_site)
+                && !stm.shutdown.load(Ordering::SeqCst)
+                && !stm.degraded.load(Ordering::SeqCst)
+            {
+                std::thread::sleep(Duration::from_micros(200));
+            }
+        }
+        Some(FaultAction::Delay(d)) => std::thread::sleep(d),
+        _ => {}
+    }
+    true
+}
+
 /// RInval-V1 commit-server (paper Algorithm 2, lines 10–25, plus commit
 /// batching — see the module docs).
 pub(crate) fn commit_server_v1(stm: &StmInner) {
+    let hb = &stm.health[0];
+    let _alive = hb.alive_guard();
     let st = &stm.server_stats;
     let mut wbf = Bloom::new();
     let mut batch_wbf = Bloom::new();
@@ -163,7 +236,15 @@ pub(crate) fn commit_server_v1(stm: &StmInner) {
     let mut batch: Vec<(usize, *const WriteEntry, usize)> = Vec::new();
     let mut batch_mask: Vec<u64> = vec![0; stm.registry.len().div_ceil(64)];
     let mut idle = Backoff::new();
-    while !stm.shutdown.load(Ordering::SeqCst) {
+    while !stm.shutdown.load(Ordering::SeqCst) && !stm.degraded.load(Ordering::SeqCst) {
+        hb.beat();
+        if !pass_failpoints(
+            stm,
+            faults::site::SERVER_COMMIT_DEATH,
+            faults::site::SERVER_COMMIT_STALL,
+        ) {
+            return;
+        }
         ServerCounters::add(&st.scan_passes, 1);
         let mut answered = false;
         batch.clear();
@@ -173,15 +254,24 @@ pub(crate) fn commit_server_v1(stm: &StmInner) {
         for i in stm.registry.pending().iter_set_bits() {
             ServerCounters::add(&st.slots_visited, 1);
             let slot = stm.registry.slot(i);
-            // Line 14: a set pending bit was published after the client's
-            // SeqCst store of REQ_PENDING, so this load doubles as the
-            // acquire of the request payload.
-            if slot.request_state.load(Ordering::SeqCst) != REQ_PENDING {
+            // Line 14, hardened: *claim* the request rather than just
+            // observing it. A set pending bit was published after the
+            // client's SeqCst store of REQ_PENDING, so the successful CAS
+            // doubles as the acquire of the request payload — and from
+            // here until we answer (or revert), no concurrent withdrawal
+            // can retract the payload out from under us.
+            if slot
+                .request_state
+                .compare_exchange(REQ_PENDING, REQ_CLAIMED, Ordering::SeqCst, Ordering::SeqCst)
+                .is_err()
+            {
                 continue;
             }
             // Line 15: the client may have been invalidated by a commit we
             // processed after it went PENDING; checking *before* bumping the
-            // timestamp saves a useless version bump (paper §IV-A).
+            // timestamp saves a useless version bump (paper §IV-A) — and
+            // keeps invariant 1 of the module docs: a slot still CLAIMED at
+            // an odd timestamp has passed this check.
             if slot.tx_status.load(Ordering::SeqCst) == TX_INVALIDATED {
                 stm.registry.pending().clear(i);
                 slot.request_state.store(REQ_ABORTED, Ordering::SeqCst);
@@ -200,12 +290,15 @@ pub(crate) fn commit_server_v1(stm: &StmInner) {
                 continue;
             }
             // Batch admission: fully independent of every member, or stay
-            // pending and serialize behind this batch on a later pass.
+            // pending and serialize behind this batch on a later pass. The
+            // claim is reverted (bit still set), re-opening the withdrawal
+            // window for the client.
             if !batch.is_empty()
                 && (wbf.intersects(&batch_wbf)
                     || batch_rbf.intersects(&wbf)
                     || slot.read_bf.intersects_plain(&batch_wbf))
             {
+                slot.request_state.store(REQ_PENDING, Ordering::SeqCst);
                 continue;
             }
             stm.registry.pending().clear(i);
@@ -257,17 +350,28 @@ pub(crate) fn commit_server_v1(stm: &StmInner) {
 
 /// RInval-V2/V3 commit-server (paper Algorithms 3 and 4).
 pub(crate) fn commit_server_v2(stm: &StmInner) {
+    let hb = &stm.health[0];
+    let _alive = hb.alive_guard();
     let st = &stm.server_stats;
     let mut wbf = Bloom::new();
     let mut idle = Backoff::new();
     let ring = stm.commit_ring.len() as u64;
     let nk = stm.inval_ts.len();
-    'scan: while !stm.shutdown.load(Ordering::SeqCst) {
+    'scan: while !stm.shutdown.load(Ordering::SeqCst) && !stm.degraded.load(Ordering::SeqCst) {
+        hb.beat();
+        if !pass_failpoints(
+            stm,
+            faults::site::SERVER_COMMIT_DEATH,
+            faults::site::SERVER_COMMIT_STALL,
+        ) {
+            return;
+        }
         ServerCounters::add(&st.scan_passes, 1);
         let mut answered = false;
         for i in stm.registry.pending().iter_set_bits() {
             ServerCounters::add(&st.slots_visited, 1);
             let slot = stm.registry.slot(i);
+            // Cheap pre-filter; the authoritative pickup is the CAS below.
             if slot.request_state.load(Ordering::SeqCst) != REQ_PENDING {
                 continue;
             }
@@ -288,17 +392,30 @@ pub(crate) fn commit_server_v2(stm: &StmInner) {
             // Algorithm 3 line 7 / Algorithm 4 line 5: wait until no
             // invalidation-server lags more than `steps_ahead` commits, so
             // the ring slot we are about to overwrite has been consumed.
+            // The request is still PENDING here (withdrawable); we keep
+            // beating so a lagging *invalidator* — not this seat — is what
+            // the watchdog sees as stalled.
             let mut bk = Backoff::new();
             for k in 0..nk {
                 while t.saturating_sub(stm.inval_ts[k].load(Ordering::SeqCst)) > stm.steps_ahead_ts
                 {
-                    if stm.shutdown.load(Ordering::SeqCst) {
+                    if stm.shutdown.load(Ordering::SeqCst) || stm.degraded.load(Ordering::SeqCst)
+                    {
                         break 'scan;
                     }
+                    hb.beat();
                     bk.snooze();
                 }
             }
-            // Pickup: from here on this request is answered this pass.
+            // Pickup (see the module docs): the CAS makes us the request's
+            // sole owner; a failure means the client withdrew it.
+            if slot
+                .request_state
+                .compare_exchange(REQ_PENDING, REQ_CLAIMED, Ordering::SeqCst, Ordering::SeqCst)
+                .is_err()
+            {
+                continue;
+            }
             stm.registry.pending().clear(i);
             answered = true;
             // Algorithm 3, lines 9–10: authoritative invalidation check.
@@ -345,13 +462,23 @@ pub(crate) fn commit_server_v2(stm: &StmInner) {
 /// Invalidation-server `k` of `stm.inval_ts.len()` (paper Algorithm 3,
 /// lines 18–25). Owns registry slots `i` with `i % num_servers == k`.
 pub(crate) fn invalidation_server(stm: &StmInner, k: usize) {
+    let hb = &stm.health[1 + k];
+    let _alive = hb.alive_guard();
     let mut wbf = Bloom::new();
     let mut idle = Backoff::new();
     let me = &stm.inval_ts[k];
     let ring = stm.commit_ring.len() as u64;
     let nk = stm.inval_ts.len();
     let mut skip_mask: Vec<u64> = vec![0; stm.registry.len().div_ceil(64)];
-    while !stm.shutdown.load(Ordering::SeqCst) {
+    while !stm.shutdown.load(Ordering::SeqCst) && !stm.degraded.load(Ordering::SeqCst) {
+        hb.beat();
+        if !pass_failpoints(
+            stm,
+            faults::site::SERVER_INVAL_DEATH,
+            faults::site::SERVER_INVAL_LAG,
+        ) {
+            return;
+        }
         let my = me.load(Ordering::Relaxed);
         // Line 20: a commit with number `my/2` is (or has been) in flight.
         if stm.timestamp.load(Ordering::SeqCst) > my {
@@ -371,5 +498,457 @@ pub(crate) fn invalidation_server(stm: &StmInner, k: usize) {
         } else {
             idle.snooze();
         }
+    }
+}
+
+/// Retracts (or resolves) the calling client's posted commit request.
+///
+/// Returns `Some(committed)` when a server had already produced a verdict
+/// — the caller must honor it, the commit may have happened. Returns
+/// `None` when the request was retracted before any server claimed it (or
+/// none was posted): nothing observable happened and the caller may
+/// abort, retry or surface a timeout.
+///
+/// The `PENDING → IDLE` CAS races the servers' `PENDING → CLAIMED` pickup
+/// CAS; exactly one side wins. If the server won, the claim window is
+/// bounded (no unbounded waits between claim and answer; a server that
+/// dies mid-claim is resolved by [`recover_inflight`]), so the `CLAIMED`
+/// arm just waits the verdict out.
+pub(crate) fn withdraw_request(stm: &StmInner, idx: usize) -> Option<bool> {
+    let slot = stm.registry.slot(idx);
+    let mut bk = Backoff::new();
+    loop {
+        match slot.request_state.load(Ordering::SeqCst) {
+            REQ_IDLE => return None,
+            REQ_PENDING => {
+                if slot
+                    .request_state
+                    .compare_exchange(REQ_PENDING, REQ_IDLE, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_ok()
+                {
+                    // Won the race: no server ever owned this request.
+                    // Clearing the summary bit is normally the server's
+                    // job at pickup; here the withdrawal is the pickup.
+                    stm.registry.pending().clear(idx);
+                    slot.req_ws_ptr
+                        .store(std::ptr::null_mut(), Ordering::Relaxed);
+                    slot.req_ws_len.store(0, Ordering::Relaxed);
+                    ServerCounters::add(&stm.server_stats.withdrawn_requests, 1);
+                    return None;
+                }
+                // Lost to a concurrent claim; loop to read the new state.
+            }
+            REQ_CLAIMED => bk.snooze(),
+            verdict => {
+                debug_assert!(verdict == REQ_COMMITTED || verdict == REQ_ABORTED);
+                slot.req_ws_ptr
+                    .store(std::ptr::null_mut(), Ordering::Relaxed);
+                slot.req_ws_len.store(0, Ordering::Relaxed);
+                slot.request_state.store(REQ_IDLE, Ordering::SeqCst);
+                return Some(verdict == REQ_COMMITTED);
+            }
+        }
+    }
+}
+
+/// Answers every still-`PENDING` request with `ABORTED`. Runs when no
+/// server will ever pick the requests up: at degradation, and as the final
+/// sweep of `Stm::drop` after the servers joined. Claims each request with
+/// the same CAS the servers use, so a concurrent client withdrawal stays
+/// race-free (exactly one side owns the request).
+pub(crate) fn drain_requests_abort(stm: &StmInner) {
+    for i in stm.registry.pending().iter_set_bits() {
+        let slot = stm.registry.slot(i);
+        if slot
+            .request_state
+            .compare_exchange(REQ_PENDING, REQ_CLAIMED, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+        {
+            stm.registry.pending().clear(i);
+            slot.request_state.store(REQ_ABORTED, Ordering::SeqCst);
+            ServerCounters::add(&stm.server_stats.drained_requests, 1);
+        }
+    }
+}
+
+/// Re-derives a consistent protocol state after a commit-server died with
+/// requests claimed (module docs, "Fault containment").
+///
+/// * Timestamp **odd**: the claimed slots are an admitted commit whose
+///   write-back may be partial. Partial write-back cannot be undone — but
+///   it also was not observed (readers spin while the timestamp is odd) —
+///   so the commit is *completed*: merged invalidation scan (idempotent:
+///   `ALIVE → INVALIDATED` CAS only), full write-back (idempotent: same
+///   values), release the timestamp, answer `COMMITTED`. Under V2/V3 the
+///   dead server had already published the ring slot before bumping, so
+///   the inline invalidation here merely duplicates what the
+///   invalidation-servers will (idempotently) do as they catch up.
+/// * Timestamp **even**: nothing of any claimed request was published;
+///   answer `ABORTED` and let the clients retry.
+///
+/// Must only run while no commit-server is running (between a detected
+/// death and the respawn, or after `Stm::drop` joined the servers) — it
+/// takes over the dead server's role as the timestamp's sole writer.
+pub(crate) fn recover_inflight(stm: &StmInner) {
+    let t = stm.timestamp.load(Ordering::SeqCst);
+    let claimed: Vec<usize> = stm
+        .registry
+        .iter()
+        .filter(|(_, s)| s.request_state.load(Ordering::SeqCst) == REQ_CLAIMED)
+        .map(|(i, _)| i)
+        .collect();
+    if t & 1 == 1 {
+        let mut merged = Bloom::new();
+        let mut wbf = Bloom::new();
+        let mut mask: Vec<u64> = vec![0; stm.registry.len().div_ceil(64)];
+        for &i in &claimed {
+            stm.registry.slot(i).req_write_bf.load_into(&mut wbf);
+            merged.union_with(&wbf);
+            mask_set(&mut mask, i);
+        }
+        fence(Ordering::SeqCst);
+        invalidate_conflicting(stm, &merged, &mask, None);
+        for &i in &claimed {
+            let slot = stm.registry.slot(i);
+            let ptr = slot.req_ws_ptr.load(Ordering::Relaxed);
+            let len = slot.req_ws_len.load(Ordering::Relaxed);
+            unsafe { write_back(stm, ptr, len) };
+        }
+        // Release the seqlock even if the claimed set was empty (a server
+        // that died after bumping but before claiming anything — not
+        // reachable through the built-in failpoints, but cheap to cover).
+        stm.timestamp.store(t + 1, Ordering::SeqCst);
+        for &i in &claimed {
+            stm.registry.pending().clear(i);
+            stm.registry
+                .slot(i)
+                .request_state
+                .store(REQ_COMMITTED, Ordering::SeqCst);
+        }
+    } else {
+        for &i in &claimed {
+            stm.registry.pending().clear(i);
+            stm.registry
+                .slot(i)
+                .request_state
+                .store(REQ_ABORTED, Ordering::SeqCst);
+            ServerCounters::add(&stm.server_stats.drained_requests, 1);
+        }
+    }
+}
+
+/// Switches the instance to serverless operation (one-way). Remote engines
+/// resolve to InvalSTM from the next attempt on
+/// (`StmInner::effective_algo`); surviving servers observe the flag and
+/// exit; requests no server will ever answer are aborted so their waiting
+/// clients resume.
+pub(crate) fn degrade(stm: &StmInner) {
+    if stm.degraded.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    ServerCounters::add(&stm.server_stats.degradations, 1);
+    drain_requests_abort(stm);
+}
+
+/// Whether `seat` has work outstanding — the gate that distinguishes a
+/// *stalled* server (silent with work to do) from an *idle* one (silent
+/// because there is nothing to do; servers back off to OS yields between
+/// passes, so an idle seat beats rarely).
+fn seat_busy(stm: &StmInner, seat: usize) -> bool {
+    if seat == 0 {
+        stm.registry.pending().any_set() || stm.timestamp.load(Ordering::SeqCst) & 1 == 1
+    } else {
+        stm.timestamp.load(Ordering::SeqCst) > stm.inval_ts[seat - 1].load(Ordering::SeqCst)
+    }
+}
+
+/// A server seat, for (re)spawning: seat 0 is the commit-server, seat
+/// `1 + k` is invalidation-server `k`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum ServerRole {
+    /// The commit-server (V1 or V2/V3, per the instance's algorithm).
+    Commit,
+    /// Invalidation-server `k` (V2/V3 only).
+    Inval(usize),
+}
+
+/// Spawns the server thread for `role`, returning its join handle (or the
+/// spawn error, which the watchdog treats as grounds for degradation).
+pub(crate) fn spawn_server(
+    stm: &Arc<StmInner>,
+    role: ServerRole,
+) -> std::io::Result<JoinHandle<()>> {
+    let i = Arc::clone(stm);
+    match role {
+        ServerRole::Commit => std::thread::Builder::new()
+            .name("rinval-commit".into())
+            .spawn(move || {
+                if i.algo == AlgorithmKind::RInvalV1 {
+                    commit_server_v1(&i)
+                } else {
+                    commit_server_v2(&i)
+                }
+            }),
+        ServerRole::Inval(k) => std::thread::Builder::new()
+            .name(format!("rinval-inval-{k}"))
+            .spawn(move || invalidation_server(&i, k)),
+    }
+}
+
+/// The supervisor loop (thread `rinval-watchdog`): polls every server
+/// seat's [`crate::sync::Heartbeat`] each `interval`.
+///
+/// * **Dead** (alive flag down — the thread returned or unwound): run
+///   [`recover_inflight`] if it was the commit-server, then respawn the
+///   seat — up to `max_respawns` times across the instance's lifetime,
+///   after which (or if a respawn fails, or the respawned thread never
+///   checks in) the instance degrades.
+/// * **Stalled** (alive but not beating while [`seat_busy`]): after
+///   `stall_checks` consecutive silent polls, degrade. A stalled server
+///   cannot be respawned — running two commit-servers would mean two
+///   writers of the global timestamp — so degradation is the only safe
+///   repair; the stuck thread exits on its own if it ever wakes (every
+///   loop re-checks the `degraded` flag before touching protocol state).
+///
+/// Respawned threads are owned (joined) by the watchdog; the original
+/// seats stay owned by `Stm::drop`.
+pub(crate) fn watchdog(stm: Arc<StmInner>) {
+    let cfg = stm.watchdog;
+    let seats = stm.health.len();
+    let mut last = vec![0u64; seats];
+    let mut misses = vec![0u32; seats];
+    let mut respawns_left = cfg.max_respawns;
+    let mut children: Vec<JoinHandle<()>> = Vec::new();
+    let done = |stm: &StmInner| {
+        stm.shutdown.load(Ordering::SeqCst) || stm.degraded.load(Ordering::SeqCst)
+    };
+    // Wait for the initial threads to check in before supervising, so a
+    // slow spawn is not mistaken for a death (which would fork a second
+    // commit-server). A seat counts as checked in if it is alive *or* has
+    // beaten at least once: every server beats before its pass-top
+    // failpoints, so a seat that came up and promptly died to an injected
+    // fault is handed to the supervise loop below as a death rather than
+    // stranding this phase until its timeout. A seat that never comes up
+    // at all degrades the instance.
+    let t0 = Instant::now();
+    for (s, hb) in stm.health.iter().enumerate() {
+        while !hb.is_alive() && hb.beats() == 0 {
+            if done(&stm) {
+                return;
+            }
+            if t0.elapsed() > Duration::from_secs(5) {
+                degrade(&stm);
+                return;
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        last[s] = hb.beats();
+    }
+    'supervise: while !done(&stm) {
+        std::thread::sleep(cfg.interval);
+        for seat in 0..seats {
+            if done(&stm) {
+                break 'supervise;
+            }
+            let hb = &stm.health[seat];
+            if !hb.is_alive() {
+                if respawns_left == 0 {
+                    if seat == 0 {
+                        recover_inflight(&stm);
+                    }
+                    degrade(&stm);
+                    break 'supervise;
+                }
+                respawns_left -= 1;
+                ServerCounters::add(&stm.server_stats.respawns, 1);
+                if seat == 0 {
+                    // No commit-server is running: resolve whatever the
+                    // dead one left claimed so the replacement starts from
+                    // a consistent state and never re-invalidates a
+                    // committed write-back.
+                    recover_inflight(&stm);
+                }
+                let role = if seat == 0 {
+                    ServerRole::Commit
+                } else {
+                    ServerRole::Inval(seat - 1)
+                };
+                let before = hb.beats();
+                let up = match spawn_server(&stm, role) {
+                    Ok(h) => {
+                        children.push(h);
+                        let t0 = Instant::now();
+                        // Same check-in rule as the startup phase: beats
+                        // progress counts even if the replacement has
+                        // already died again (the next poll re-detects the
+                        // death and the respawn budget drains normally).
+                        while !hb.is_alive()
+                            && hb.beats() == before
+                            && !done(&stm)
+                            && t0.elapsed() < Duration::from_millis(500)
+                        {
+                            std::thread::sleep(Duration::from_micros(200));
+                        }
+                        hb.is_alive() || hb.beats() != before
+                    }
+                    Err(_) => false,
+                };
+                if !up && !done(&stm) {
+                    degrade(&stm);
+                    break 'supervise;
+                }
+                last[seat] = hb.beats();
+                misses[seat] = 0;
+            } else {
+                let now = hb.beats();
+                if now != last[seat] || !seat_busy(&stm, seat) {
+                    last[seat] = now;
+                    misses[seat] = 0;
+                } else {
+                    misses[seat] += 1;
+                    ServerCounters::add(&stm.server_stats.heartbeat_misses, 1);
+                    if misses[seat] >= cfg.stall_checks {
+                        degrade(&stm);
+                        break 'supervise;
+                    }
+                }
+            }
+        }
+    }
+    for c in children {
+        let _ = c.join();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AlgorithmKind, Stm};
+
+    /// Server-less inner state of a remote kind: the protocol words and
+    /// registry exist, but no threads run — the tests below drive the
+    /// recovery paths by hand.
+    fn inner_v1() -> Arc<StmInner> {
+        Stm::builder(AlgorithmKind::RInvalV1).build_inner()
+    }
+
+    #[test]
+    fn drain_aborts_pending_requests() {
+        let inner = inner_v1();
+        let idx = inner.registry.claim().unwrap();
+        let slot = inner.registry.slot(idx);
+        slot.request_state.store(REQ_PENDING, Ordering::SeqCst);
+        inner.registry.pending().set(idx);
+
+        drain_requests_abort(&inner);
+
+        assert_eq!(slot.request_state.load(Ordering::SeqCst), REQ_ABORTED);
+        assert!(!inner.registry.pending().get(idx));
+        assert_eq!(inner.server_stats.snapshot().drained_requests, 1);
+        inner.registry.release(idx);
+    }
+
+    #[test]
+    fn withdraw_retracts_pending_and_honors_verdicts() {
+        let inner = inner_v1();
+        let idx = inner.registry.claim().unwrap();
+        let slot = inner.registry.slot(idx);
+
+        // Nothing posted.
+        assert_eq!(withdraw_request(&inner, idx), None);
+
+        // Posted, unclaimed: retracted.
+        slot.request_state.store(REQ_PENDING, Ordering::SeqCst);
+        inner.registry.pending().set(idx);
+        assert_eq!(withdraw_request(&inner, idx), None);
+        assert_eq!(slot.request_state.load(Ordering::SeqCst), REQ_IDLE);
+        assert!(!inner.registry.pending().get(idx));
+        assert_eq!(inner.server_stats.snapshot().withdrawn_requests, 1);
+
+        // Verdict already produced: taken, not discarded.
+        slot.request_state.store(REQ_COMMITTED, Ordering::SeqCst);
+        assert_eq!(withdraw_request(&inner, idx), Some(true));
+        assert_eq!(slot.request_state.load(Ordering::SeqCst), REQ_IDLE);
+        slot.request_state.store(REQ_ABORTED, Ordering::SeqCst);
+        assert_eq!(withdraw_request(&inner, idx), Some(false));
+        inner.registry.release(idx);
+    }
+
+    #[test]
+    fn recover_even_timestamp_aborts_claimed() {
+        let inner = inner_v1();
+        let idx = inner.registry.claim().unwrap();
+        let slot = inner.registry.slot(idx);
+        slot.request_state.store(REQ_CLAIMED, Ordering::SeqCst);
+
+        recover_inflight(&inner);
+
+        assert_eq!(slot.request_state.load(Ordering::SeqCst), REQ_ABORTED);
+        assert_eq!(inner.timestamp.load(Ordering::SeqCst), 0);
+        inner.registry.release(idx);
+    }
+
+    #[test]
+    fn recover_odd_timestamp_completes_commit() {
+        let inner = inner_v1();
+        let h = inner.heap.alloc(1).unwrap();
+
+        // A claimed committer mid-write-back…
+        let idx = inner.registry.claim().unwrap();
+        let slot = inner.registry.slot(idx);
+        let entries = [WriteEntry {
+            addr: h.addr(),
+            val: 42,
+        }];
+        let mut wbf = Bloom::new();
+        wbf.insert(h.addr());
+        slot.req_write_bf.store_from(&wbf);
+        slot.req_ws_ptr
+            .store(entries.as_ptr() as *mut _, Ordering::Relaxed);
+        slot.req_ws_len.store(entries.len(), Ordering::Relaxed);
+        slot.request_state.store(REQ_CLAIMED, Ordering::SeqCst);
+
+        // …a live reader of the written word…
+        let rd = inner.registry.claim().unwrap();
+        inner.registry.begin(rd, 0);
+        inner.registry.slot(rd).read_bf.owner_insert(h.addr());
+
+        // …and a server that died inside the odd phase.
+        inner.timestamp.store(1, Ordering::SeqCst);
+        recover_inflight(&inner);
+
+        assert_eq!(inner.timestamp.load(Ordering::SeqCst), 2);
+        assert_eq!(slot.request_state.load(Ordering::SeqCst), REQ_COMMITTED);
+        assert_eq!(inner.heap.load(h), 42);
+        assert_eq!(
+            inner.registry.slot(rd).tx_status.load(Ordering::SeqCst),
+            TX_INVALIDATED
+        );
+
+        slot.request_state.store(REQ_IDLE, Ordering::SeqCst);
+        slot.req_ws_ptr
+            .store(std::ptr::null_mut(), Ordering::Relaxed);
+        inner.registry.end(rd);
+        inner.registry.release(rd);
+        inner.registry.release(idx);
+    }
+
+    #[test]
+    fn degrade_is_one_way_and_drains() {
+        let inner = inner_v1();
+        let idx = inner.registry.claim().unwrap();
+        let slot = inner.registry.slot(idx);
+        slot.request_state.store(REQ_PENDING, Ordering::SeqCst);
+        inner.registry.pending().set(idx);
+
+        degrade(&inner);
+        degrade(&inner); // second call is a no-op
+
+        assert!(inner.degraded.load(Ordering::SeqCst));
+        assert_eq!(slot.request_state.load(Ordering::SeqCst), REQ_ABORTED);
+        let s = inner.server_stats.snapshot();
+        assert_eq!(s.degradations, 1);
+        assert_eq!(s.drained_requests, 1);
+        inner.registry.release(idx);
     }
 }

@@ -106,6 +106,22 @@ pub struct ServerCounters {
     /// Commit requests answered through batches (`batched_requests /
     /// batches` = mean batch size).
     pub batched_requests: AtomicU64,
+    /// Watchdog intervals in which a server with outstanding work made no
+    /// heartbeat progress.
+    pub heartbeat_misses: AtomicU64,
+    /// Dead server threads respawned by the watchdog.
+    pub respawns: AtomicU64,
+    /// Times the instance degraded from a remote engine to InvalSTM.
+    pub degradations: AtomicU64,
+    /// Client commit requests that hit a [`crate::TxError::Timeout`]
+    /// deadline while waiting for a server verdict.
+    pub timed_out_requests: AtomicU64,
+    /// Posted requests withdrawn by clients (deadline, degradation or
+    /// handle teardown) before a server claimed them.
+    pub withdrawn_requests: AtomicU64,
+    /// Outstanding requests answered with an abort verdict by shutdown or
+    /// crash-recovery drains rather than by normal server processing.
+    pub drained_requests: AtomicU64,
 }
 
 impl ServerCounters {
@@ -124,6 +140,12 @@ impl ServerCounters {
             inval_slots_visited: self.inval_slots_visited.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
             batched_requests: self.batched_requests.load(Ordering::Relaxed),
+            heartbeat_misses: self.heartbeat_misses.load(Ordering::Relaxed),
+            respawns: self.respawns.load(Ordering::Relaxed),
+            degradations: self.degradations.load(Ordering::Relaxed),
+            timed_out_requests: self.timed_out_requests.load(Ordering::Relaxed),
+            withdrawn_requests: self.withdrawn_requests.load(Ordering::Relaxed),
+            drained_requests: self.drained_requests.load(Ordering::Relaxed),
         }
     }
 }
@@ -146,6 +168,18 @@ pub struct ServerStats {
     pub batches: u64,
     /// Commit requests answered through batches.
     pub batched_requests: u64,
+    /// Watchdog intervals with a silent-but-busy server.
+    pub heartbeat_misses: u64,
+    /// Dead server threads respawned by the watchdog.
+    pub respawns: u64,
+    /// Remote-engine → InvalSTM degradations.
+    pub degradations: u64,
+    /// Client requests that hit their wait deadline.
+    pub timed_out_requests: u64,
+    /// Posted requests withdrawn by clients before server pickup.
+    pub withdrawn_requests: u64,
+    /// Requests answered with aborts by shutdown/recovery drains.
+    pub drained_requests: u64,
 }
 
 impl ServerStats {
@@ -189,7 +223,26 @@ impl ServerStats {
             inval_slots_visited: self.inval_slots_visited - earlier.inval_slots_visited,
             batches: self.batches - earlier.batches,
             batched_requests: self.batched_requests - earlier.batched_requests,
+            heartbeat_misses: self.heartbeat_misses - earlier.heartbeat_misses,
+            respawns: self.respawns - earlier.respawns,
+            degradations: self.degradations - earlier.degradations,
+            timed_out_requests: self.timed_out_requests - earlier.timed_out_requests,
+            withdrawn_requests: self.withdrawn_requests - earlier.withdrawn_requests,
+            drained_requests: self.drained_requests - earlier.drained_requests,
         }
+    }
+
+    /// True when any recovery-path counter is nonzero — a quick flag for
+    /// run reports ("did this run exercise the fault machinery at all?").
+    /// `heartbeat_misses` is deliberately excluded: sub-threshold silent
+    /// polls of a busy seat are ordinary scheduling noise (ubiquitous on
+    /// oversubscribed hosts) and repaired nothing.
+    pub fn any_recovery_activity(&self) -> bool {
+        self.respawns != 0
+            || self.degradations != 0
+            || self.timed_out_requests != 0
+            || self.withdrawn_requests != 0
+            || self.drained_requests != 0
     }
 }
 
@@ -340,5 +393,35 @@ mod tests {
         let s = ServerStats::default();
         assert_eq!(s.visited_per_pass(), 0.0);
         assert_eq!(s.mean_batch_size(), 0.0);
+    }
+
+    #[test]
+    fn watchdog_counters_snapshot_and_since() {
+        let c = ServerCounters::default();
+        ServerCounters::add(&c.heartbeat_misses, 3);
+        ServerCounters::add(&c.respawns, 1);
+        ServerCounters::add(&c.degradations, 1);
+        ServerCounters::add(&c.timed_out_requests, 2);
+        ServerCounters::add(&c.withdrawn_requests, 2);
+        ServerCounters::add(&c.drained_requests, 4);
+        let s = c.snapshot();
+        assert_eq!(s.heartbeat_misses, 3);
+        assert_eq!(s.respawns, 1);
+        assert_eq!(s.degradations, 1);
+        assert_eq!(s.timed_out_requests, 2);
+        assert_eq!(s.withdrawn_requests, 2);
+        assert_eq!(s.drained_requests, 4);
+        assert!(s.any_recovery_activity());
+        assert!(!ServerStats::default().any_recovery_activity());
+        // Sub-threshold heartbeat misses alone are scheduling noise, not
+        // recovery activity.
+        let noisy = ServerCounters::default();
+        ServerCounters::add(&noisy.heartbeat_misses, 7);
+        assert!(!noisy.snapshot().any_recovery_activity());
+
+        ServerCounters::add(&c.respawns, 2);
+        let d = c.snapshot().since(&s);
+        assert_eq!(d.respawns, 2);
+        assert_eq!(d.heartbeat_misses, 0);
     }
 }

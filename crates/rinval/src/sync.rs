@@ -167,6 +167,77 @@ impl Iterator for SetBits<'_> {
     }
 }
 
+/// Liveness beacon published by a server thread and read by the watchdog.
+///
+/// Two observables with different failure semantics:
+///
+/// * `beats` — a counter the server bumps once per loop pass. A counter
+///   that stops advancing while protocol work is outstanding means the
+///   thread is *stalled* (alive but wedged — e.g. descheduled forever or
+///   stuck in a failpoint).
+/// * `alive` — set while the server's loop runs, cleared by a drop guard
+///   ([`Heartbeat::alive_guard`]) when the loop returns **or unwinds**. A
+///   cleared flag means the thread is *dead* and its seat can be respawned.
+///
+/// The distinction matters for recovery: a dead thread provably executes
+/// no further stores, so the supervisor may repair shared protocol state
+/// and start a replacement; a stalled thread might wake at any moment, so
+/// the only safe reaction is to route around it (degrade), never to run a
+/// second copy.
+#[derive(Debug)]
+pub struct Heartbeat {
+    beats: CachePadded<AtomicU64>,
+    alive: CachePadded<std::sync::atomic::AtomicBool>,
+}
+
+impl Default for Heartbeat {
+    fn default() -> Heartbeat {
+        Heartbeat {
+            beats: CachePadded::new(AtomicU64::new(0)),
+            alive: CachePadded::new(std::sync::atomic::AtomicBool::new(false)),
+        }
+    }
+}
+
+impl Heartbeat {
+    /// Bumps the pass counter (server side, once per loop pass).
+    #[inline]
+    pub fn beat(&self) {
+        self.beats.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Current pass count (watchdog side).
+    pub fn beats(&self) -> u64 {
+        self.beats.load(Ordering::Relaxed)
+    }
+
+    /// Whether the owning thread is between `alive_guard` creation and drop.
+    pub fn is_alive(&self) -> bool {
+        self.alive.load(Ordering::SeqCst)
+    }
+
+    /// Marks the beacon alive and returns a guard that clears the flag on
+    /// drop — including a panicking unwind, so the watchdog sees a crashed
+    /// server as dead, not stalled.
+    pub fn alive_guard(&self) -> AliveGuard<'_> {
+        self.alive.store(true, Ordering::SeqCst);
+        AliveGuard { hb: self }
+    }
+}
+
+/// Clears the owning [`Heartbeat`]'s alive flag on drop; see
+/// [`Heartbeat::alive_guard`].
+#[derive(Debug)]
+pub struct AliveGuard<'a> {
+    hb: &'a Heartbeat,
+}
+
+impl Drop for AliveGuard<'_> {
+    fn drop(&mut self) {
+        self.hb.alive.store(false, Ordering::SeqCst);
+    }
+}
+
 /// Number of busy spins before a [`Backoff`] starts yielding to the OS.
 const SPIN_LIMIT: u32 = 64;
 
@@ -303,6 +374,26 @@ mod tests {
         let w0 = &bm.words[0] as *const _ as usize;
         let w1 = &bm.words[1] as *const _ as usize;
         assert!(w1 - w0 >= 128);
+    }
+
+    #[test]
+    fn heartbeat_alive_guard_clears_on_unwind() {
+        let hb = Heartbeat::default();
+        assert!(!hb.is_alive());
+        {
+            let _g = hb.alive_guard();
+            assert!(hb.is_alive());
+            hb.beat();
+            hb.beat();
+            assert_eq!(hb.beats(), 2);
+        }
+        assert!(!hb.is_alive());
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _g = hb.alive_guard();
+            panic!("server crash");
+        }));
+        assert!(r.is_err());
+        assert!(!hb.is_alive(), "unwind must clear the alive flag");
     }
 
     #[test]

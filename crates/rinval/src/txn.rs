@@ -6,17 +6,35 @@
 //! stats) and the begin / run / commit / abort choreography shared by
 //! every algorithm. The [`crate::AlgorithmKind`] is resolved exactly once
 //! per attempt (`algo::with_algorithm!` in [`ThreadHandle::run`] /
-//! [`ThreadHandle::try_run`]); from there the lifecycle dispatches
+//! [`ThreadHandle::try_run`] / [`ThreadHandle::try_run_for`]) — per
+//! *attempt*, not per call, so a degraded instance re-resolves remote
+//! kinds to their InvalSTM fallback between retries
+//! (`StmInner::effective_algo`). From there the lifecycle dispatches
 //! statically through `A: Algorithm` and the body-visible ops go through
 //! the attempt's [`algo::OpTable`].
+//!
+//! ## Panic containment
+//!
+//! Every attempt — engine `begin`, the user body, engine `commit` — runs
+//! under [`std::panic::catch_unwind`]. A panicking attempt is unwound like
+//! an abort, but through the engine's `cleanup_panic` hook, which
+//! additionally repairs any protocol state the panic interrupted
+//! (releasing a held seqlock, withdrawing a posted commit request) before
+//! the panic resumes. Combined with [`ThreadHandle`]'s `Drop` (which
+//! withdraws requests and releases the registry slot even mid-unwind),
+//! a panic in one transaction body never wedges other threads or leaks
+//! registry state — the `Stm` remains fully usable (DESIGN.md §11).
 
 use crate::algo::{self, Algorithm};
 use crate::bloom::Bloom;
 use crate::cm::ContentionManager;
+use crate::faults;
 use crate::heap::{Handle, HeapCache};
 use crate::logs::{AllocLog, ValueReadSet, WriteSet};
 use crate::stats::{PhaseStats, Probe};
-use crate::{Aborted, StmInner, TxResult};
+use crate::{Aborted, StmInner, TxError, TxResult};
+use std::panic::{self, AssertUnwindSafe};
+use std::time::{Duration, Instant};
 
 /// Per-registered-thread transaction context.
 ///
@@ -76,14 +94,17 @@ impl<'a> ThreadHandle<'a> {
     /// The closure may run many times; side effects outside the STM must be
     /// idempotent. Within the closure, propagate [`Aborted`] with `?`.
     pub fn run<T>(&mut self, mut body: impl FnMut(&mut Txn<'_>) -> TxResult<T>) -> T {
-        // The one kind branch of the transaction path: resolve the engine
-        // here, outside the retry loop, so every attempt (and everything
-        // inside it) is monomorphized.
-        algo::with_algorithm!(self.stm.algo, A => loop {
-            if let Ok(v) = self.attempt::<A, T>(&mut body) {
+        loop {
+            // The one kind branch of the transaction path, once per
+            // attempt: everything inside is monomorphized, and a
+            // degradation takes effect on the next retry.
+            let r = algo::with_algorithm!(self.stm.effective_algo(), A => {
+                self.attempt::<A, T>(&mut body, None)
+            });
+            if let Ok(v) = r {
                 return v;
             }
-        })
+        }
     }
 
     /// Like [`ThreadHandle::run`] but gives up after `max_attempts` aborts.
@@ -92,22 +113,61 @@ impl<'a> ThreadHandle<'a> {
         max_attempts: usize,
         mut body: impl FnMut(&mut Txn<'_>) -> TxResult<T>,
     ) -> TxResult<T> {
-        algo::with_algorithm!(self.stm.algo, A => {
-            for _ in 0..max_attempts {
-                if let Ok(v) = self.attempt::<A, T>(&mut body) {
-                    return Ok(v);
+        for _ in 0..max_attempts {
+            let r = algo::with_algorithm!(self.stm.effective_algo(), A => {
+                self.attempt::<A, T>(&mut body, None)
+            });
+            if let Ok(v) = r {
+                return Ok(v);
+            }
+        }
+        Err(Aborted)
+    }
+
+    /// Like [`ThreadHandle::run`] but bounded in *time*: retries until the
+    /// body commits or `timeout` elapses, then returns
+    /// [`TxError::Timeout`].
+    ///
+    /// The deadline bounds every wait inside an attempt, not just the
+    /// retry loop: spins on the global seqlock (begin/commit of the
+    /// CAS-based engines), reads waiting out an in-flight commit or a
+    /// lagging invalidation-server, and — under RInval — the wait for the
+    /// commit-server's verdict, where an expired deadline *withdraws* the
+    /// posted request (or takes the verdict if one raced in; a `COMMITTED`
+    /// verdict at the deadline is returned as success, never dropped).
+    /// Deadline checks ride the existing backoff escalation
+    /// ([`crate::sync::Backoff::is_yielding`]), so the contention-free
+    /// fast path never reads the clock.
+    pub fn try_run_for<T>(
+        &mut self,
+        timeout: Duration,
+        mut body: impl FnMut(&mut Txn<'_>) -> TxResult<T>,
+    ) -> Result<T, TxError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let r = algo::with_algorithm!(self.stm.effective_algo(), A => {
+                self.attempt::<A, T>(&mut body, Some(deadline))
+            });
+            match r {
+                Ok(v) => return Ok(v),
+                Err(timed_out) => {
+                    if timed_out || Instant::now() >= deadline {
+                        return Err(TxError::Timeout);
+                    }
                 }
             }
-            Err(Aborted)
-        })
+        }
     }
 
     /// One transaction attempt of engine `A`: pin → begin → body → commit,
-    /// with cleanup on either failure path.
+    /// with cleanup on every failure path — abort, deadline expiry and
+    /// panic (see the module docs). The `Err` payload reports whether the
+    /// attempt was cut short by the deadline.
     fn attempt<A: Algorithm, T>(
         &mut self,
         body: &mut impl FnMut(&mut Txn<'_>) -> TxResult<T>,
-    ) -> TxResult<T> {
+        deadline: Option<Instant>,
+    ) -> Result<T, bool> {
         let profile = self.stm.profile;
         let p_total = Probe::start(profile);
         self.rs.clear();
@@ -120,6 +180,9 @@ impl<'a> ThreadHandle<'a> {
             slot_idx: self.slot_idx,
             snapshot: 0,
             tml_writer: false,
+            lock_held: false,
+            deadline,
+            timed_out: false,
             ops: algo::OpTable::of::<A>(),
             rs: &mut self.rs,
             ws: &mut self.ws,
@@ -130,19 +193,27 @@ impl<'a> ThreadHandle<'a> {
             profile,
         };
         A::pin(&mut tx);
-        A::begin(&mut tx);
 
-        let outcome = body(&mut tx).and_then(|v| {
-            // Commit-phase time includes spinning on the global lock
-            // (NOrec / InvalSTM) or on the request slot (RInval) — exactly
-            // the paper's "commit" bucket in Fig. 2/3.
-            let p = Probe::start(profile);
-            let r = A::commit(&mut tx);
-            p.stop(&mut tx.stats.commit);
-            r.map(|()| v)
-        });
+        // The unwind boundary: engine begin, the user body and engine
+        // commit all run inside it. `AssertUnwindSafe` is justified
+        // because the `Err(payload)` arm below never *resumes* the
+        // transaction — it repairs protocol state (`cleanup_panic`),
+        // discards the attempt's logs and re-raises the panic.
+        let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+            A::begin(&mut tx)?;
+            faults::maybe_panic(&tx.stm.faults, faults::site::TXN_BODY_PANIC);
+            body(&mut tx).and_then(|v| {
+                // Commit-phase time includes spinning on the global lock
+                // (NOrec / InvalSTM) or on the request slot (RInval) —
+                // exactly the paper's "commit" bucket in Fig. 2/3.
+                let p = Probe::start(profile);
+                let r = A::commit(&mut tx);
+                p.stop(&mut tx.stats.commit);
+                r.map(|()| v)
+            })
+        }));
         match outcome {
-            Ok(v) => {
+            Ok(Ok(v)) => {
                 A::cleanup_commit(&mut tx);
                 // The era stamp for this attempt's frees is taken here,
                 // strictly after the commit is fully visible (under RInval
@@ -154,16 +225,29 @@ impl<'a> ThreadHandle<'a> {
                 self.cm.on_commit();
                 Ok(v)
             }
-            Err(Aborted) => {
+            Ok(Err(Aborted)) => {
                 let p_abort = Probe::start(profile);
                 A::cleanup_abort(&mut tx);
+                let timed_out = tx.timed_out;
                 // Surrender speculative allocations; drop pending frees.
                 self.cache.abort(&mut self.alog);
                 self.stats.aborts += 1;
                 self.cm.on_abort();
                 p_abort.stop(&mut self.stats.abort);
                 p_total.stop(&mut self.stats.total_tx);
-                Err(Aborted)
+                Err(timed_out)
+            }
+            Err(payload) => {
+                // Repair what the panic interrupted (release a held
+                // seqlock, withdraw a posted request, deregister the
+                // slot), then account the attempt as aborted and let the
+                // panic continue — `ThreadHandle::drop` handles the rest
+                // of the unwind.
+                A::cleanup_panic(&mut tx);
+                self.cache.abort(&mut self.alog);
+                self.stats.aborts += 1;
+                self.cm.on_abort();
+                panic::resume_unwind(payload)
             }
         }
     }
@@ -171,6 +255,12 @@ impl<'a> ThreadHandle<'a> {
 
 impl Drop for ThreadHandle<'_> {
     fn drop(&mut self) {
+        // A drop mid-unwind may still have a commit request posted (a
+        // panic can fire between the request's publication and its
+        // verdict): retract it — or take the verdict — before this
+        // handle's write-set buffer is freed, so no server ever
+        // dereferences a dangling payload pointer.
+        let _ = crate::server::withdraw_request(self.stm, self.slot_idx);
         // Surrender the thread's free blocks and still-maturing retirees
         // to the heap's shared pool so other threads can recycle them.
         self.stm.heap.pool_flush(&mut self.cache);
@@ -196,6 +286,18 @@ pub struct Txn<'t> {
     pub(crate) snapshot: u64,
     /// TML: whether this transaction has upgraded to the exclusive lock.
     pub(crate) tml_writer: bool,
+    /// Whether this transaction currently owns the global seqlock
+    /// (CoarseLock body; NOrec / InvalSTM commit critical section). Gates
+    /// both the abort path after a failed `begin` and the `cleanup_panic`
+    /// seqlock repair.
+    pub(crate) lock_held: bool,
+    /// [`ThreadHandle::try_run_for`]'s attempt deadline; `None` runs
+    /// unbounded.
+    pub(crate) deadline: Option<Instant>,
+    /// Set by [`Txn::deadline_expired`] when the deadline cut a wait
+    /// short; read back by the retry loop to surface
+    /// [`crate::TxError::Timeout`].
+    pub(crate) timed_out: bool,
     /// This attempt's engine ops (installed once per attempt; see
     /// [`algo::OpTable`]).
     pub(crate) ops: algo::OpTable,
@@ -212,6 +314,22 @@ pub struct Txn<'t> {
 }
 
 impl Txn<'_> {
+    /// True once the attempt's deadline (if any) has passed; records the
+    /// expiry so the retry loop reports [`crate::TxError::Timeout`].
+    /// Callers check this only from already-yielding wait loops
+    /// ([`crate::sync::Backoff::is_yielding`]), keeping clock reads off
+    /// the fast path.
+    #[inline]
+    pub(crate) fn deadline_expired(&mut self) -> bool {
+        match self.deadline {
+            Some(d) if Instant::now() >= d => {
+                self.timed_out = true;
+                true
+            }
+            _ => false,
+        }
+    }
+
     /// Transactionally reads the word at `h`.
     #[inline]
     pub fn read(&mut self, h: Handle) -> TxResult<u64> {
@@ -253,6 +371,11 @@ impl Txn<'_> {
             return Ok(Handle::NULL);
         }
         let stm = self.stm;
+        if let Some(faults::FaultAction::Fail) = stm.faults.hit(faults::site::HEAP_ALLOC_FAIL) {
+            // Simulated exhaustion takes the exact path real exhaustion
+            // takes, so the fault matrix certifies that path's containment.
+            panic!("rinval heap exhausted inside transaction");
+        }
         match self.cache.alloc(&stm.heap, || stm.reclaim_horizon(), n) {
             Some(h) => {
                 self.alog.allocs.push((h.addr(), n as u32));

@@ -151,6 +151,7 @@ fn run_on(
         threads,
         checksum: adj.popcount(stm),
         heap: stm.heap_stats(),
+        server: stm.server_stats(),
     }
 }
 

@@ -26,9 +26,18 @@ fn run_one(app: App, algo: AlgorithmKind, threads: usize) {
         Ok(()) => "verified",
         Err(ref e) => e.as_str(),
     };
+    // A run that exercised the fault-recovery machinery is not a clean
+    // measurement of the nominal algorithm; say so on the line.
+    let health = if report.degraded() {
+        " [DEGRADED]"
+    } else if report.recovery_activity() {
+        " [recovered]"
+    } else {
+        ""
+    };
     println!(
         "{:>10} {:>10} t={threads} wall={:>8.1}ms commits={:>7} aborts={:>6} rate={:>5.1}% \
-         heap[peak={}w freed={}w recycled={}w segs={}] [{status}]",
+         heap[peak={}w freed={}w recycled={}w segs={}] [{status}]{health}",
         app.name(),
         algo.name(),
         report.wall.as_secs_f64() * 1000.0,

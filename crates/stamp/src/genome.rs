@@ -190,6 +190,7 @@ pub fn run(stm: &Stm, threads: usize, cfg: &Config) -> RunReport {
         threads,
         checksum: unique.snapshot(stm).len() as u64,
         heap: stm.heap_stats(),
+        server: stm.server_stats(),
     }
 }
 

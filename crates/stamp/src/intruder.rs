@@ -181,6 +181,7 @@ pub fn run(stm: &Stm, threads: usize, cfg: &Config) -> RunReport {
         threads,
         checksum: attacks.load(Ordering::Relaxed),
         heap: stm.heap_stats(),
+        server: stm.server_stats(),
     }
 }
 

@@ -193,6 +193,7 @@ pub fn run(stm: &Stm, threads: usize, cfg: &Config) -> RunReport {
         threads,
         checksum: correct,
         heap: stm.heap_stats(),
+        server: stm.server_stats(),
     }
 }
 

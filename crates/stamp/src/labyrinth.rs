@@ -167,6 +167,7 @@ fn route_all(
         threads,
         checksum: paths.len() as u64,
         heap: stm.heap_stats(),
+        server: stm.server_stats(),
     };
     (report, paths)
 }

@@ -30,7 +30,7 @@ pub mod rbtree_bench;
 pub mod ssca2;
 pub mod vacation;
 
-use rinval::{HeapStats, PhaseStats};
+use rinval::{HeapStats, PhaseStats, ServerStats};
 use std::time::Duration;
 
 /// Outcome of one application run.
@@ -47,6 +47,11 @@ pub struct RunReport {
     /// Heap telemetry sampled at the end of the run: peak arena footprint
     /// (`allocated_words`), free/recycle volume and live segments.
     pub heap: HeapStats,
+    /// Server/watchdog telemetry sampled at the end of the run. All-zero
+    /// recovery counters (`respawns`, `degradations`, …) certify the run
+    /// executed on its nominal algorithm with no fault-handling activity —
+    /// see [`RunReport::degraded`].
+    pub server: ServerStats,
 }
 
 impl RunReport {
@@ -59,6 +64,19 @@ impl RunReport {
     /// recycling keeps this flat under churn).
     pub fn heap_peak_words(&self) -> u64 {
         self.heap.allocated_words
+    }
+
+    /// True if the instance degraded to serverless InvalSTM during the
+    /// run: its throughput is not a measurement of the nominal algorithm
+    /// and must be excluded from (or flagged in) figures.
+    pub fn degraded(&self) -> bool {
+        self.server.degradations > 0
+    }
+
+    /// True if any fault-recovery machinery fired during the run
+    /// (respawns, withdrawals, timeouts, drains — not just degradation).
+    pub fn recovery_activity(&self) -> bool {
+        self.server.any_recovery_activity()
     }
 }
 
@@ -173,6 +191,7 @@ impl App {
                             threads,
                             checksum: 0,
                             heap: stm.heap_stats(),
+                            server: stm.server_stats(),
                         },
                         Err(e),
                     ),
@@ -219,6 +238,7 @@ impl App {
                             threads,
                             checksum: 0,
                             heap: stm.heap_stats(),
+                            server: stm.server_stats(),
                         },
                         Err(e),
                     ),
@@ -240,6 +260,7 @@ impl App {
                             threads,
                             checksum: 0,
                             heap: stm.heap_stats(),
+                            server: stm.server_stats(),
                         },
                         Err(e),
                     ),
@@ -365,6 +386,7 @@ mod tests {
             threads: 1,
             checksum: 0,
             heap: Default::default(),
+            server: Default::default(),
         };
         assert!((r.throughput() - 50.0).abs() < 1e-9);
     }

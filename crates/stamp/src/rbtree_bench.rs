@@ -110,6 +110,7 @@ pub fn run_on(stm: &Stm, tree: RbTree, threads: usize, cfg: &Config) -> RunRepor
         threads,
         checksum,
         heap: stm.heap_stats(),
+        server: stm.server_stats(),
     }
 }
 

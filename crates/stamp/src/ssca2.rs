@@ -107,6 +107,7 @@ pub fn run(stm: &Stm, threads: usize, cfg: &Config) -> RunReport {
         threads,
         checksum: distinct,
         heap: stm.heap_stats(),
+        server: stm.server_stats(),
     }
 }
 

@@ -258,6 +258,7 @@ pub fn run_on(stm: &Stm, db: Database, threads: usize, cfg: &Config) -> RunRepor
         threads,
         checksum,
         heap: stm.heap_stats(),
+        server: stm.server_stats(),
     }
 }
 
