@@ -53,7 +53,11 @@ pub(crate) fn begin(tx: &mut Txn<'_>) -> TxResult<()> {
     let mut bk = Backoff::new();
     loop {
         let t = ts.load(Ordering::SeqCst);
+        // Token gate at begin (§13): the lock *is* the timestamp, so a
+        // non-holder acquiring it would stall the irrevocable holder's
+        // whole attempt; the holder itself passes and runs as usual.
         if t & 1 == 0
+            && !tx.stm.token_held_by_other(tx.slot_idx)
             && ts
                 .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::SeqCst)
                 .is_ok()

@@ -137,10 +137,15 @@ pub(crate) fn commit(tx: &mut Txn<'_>) -> TxResult<()> {
     let ts = &tx.stm.timestamp;
     let mut bk = Backoff::new();
     // Algorithm 1, line 13: spin until the timestamp is even and we win the
-    // CAS that makes it odd.
+    // CAS that makes it odd. An irrevocable-token holder other than us
+    // gates entry (§13): its attempt must see no commit until it is done.
     let t = loop {
         if bk.is_yielding() && tx.deadline_expired() {
             return Err(Aborted);
+        }
+        if tx.stm.token_held_by_other(tx.slot_idx) {
+            bk.snooze();
+            continue;
         }
         let cur = ts.load(Ordering::SeqCst);
         if cur & 1 == 1 {
@@ -173,15 +178,32 @@ pub(crate) fn commit(tx: &mut Txn<'_>) -> TxResult<()> {
         return Err(Aborted);
     }
     // Algorithm 1, lines 15–19 fused into a single walk of the `live`
-    // summary map: collect the conflicting in-flight transactions, then —
-    // only if the reader-bias budget (§V future-work policy) permits —
-    // invalidate them (committer always wins under the default policy;
-    // paper §IV-D). The census and the invalidation used to be two full
-    // registry walks; one bitmap scan now serves both.
+    // summary map: collect the conflicting in-flight transactions, apply
+    // the §13 admission census (priority refusal / reader-bias budget),
+    // and only then invalidate them (committer always wins under the
+    // default policy; paper §IV-D). The census and the invalidation used
+    // to be two full registry walks; one bitmap scan now serves both.
+    // Priority loads ride the same scan and are skipped entirely —
+    // `check_census` false — while CommitterWins is in force and nothing
+    // has ever aged (`priority_ceiling` still zero), and for the token
+    // holder, whose commit must never be refused.
     let st = &tx.stm.server_stats;
     ServerCounters::add(&st.inval_scans, 1);
     let budget = tx.stm.cm_policy.max_doomed();
+    // Cheap arm first: the ceiling/budget test alone decides the common
+    // unarmed case, so neither the token word nor the own-priority load
+    // is touched on an uncontended commit.
+    let check_census = (budget != u32::MAX
+        || tx.stm.priority_ceiling.load(Ordering::SeqCst) != 0)
+        && tx.stm.irrevocable_holder() != Some(tx.slot_idx);
+    let pc = if check_census {
+        slot.priority.load(Ordering::SeqCst)
+    } else {
+        0
+    };
     let mut visited = 0u64;
+    let mut max_pv = 0u32;
+    let mut preceding = false;
     let mut doomed: Vec<usize> = Vec::new();
     for i in tx.stm.registry.live().iter_set_bits() {
         if i == tx.slot_idx {
@@ -190,22 +212,44 @@ pub(crate) fn commit(tx: &mut Txn<'_>) -> TxResult<()> {
         visited += 1;
         let other = tx.stm.registry.slot(i);
         if other.is_live() && other.read_bf.intersects_plain(tx.wbf) {
+            if check_census {
+                let pv = other.priority.load(Ordering::SeqCst);
+                max_pv = max_pv.max(pv);
+                preceding |= crate::registry::precedes(pv, i, pc, tx.slot_idx);
+            }
             doomed.push(i);
         }
     }
     ServerCounters::add(&st.inval_slots_visited, visited);
-    if doomed.len() as u64 > budget as u64 {
+    // Refusal rule (kept identical to the server-side `census_refusal`):
+    // only a committer that is *not* the local (priority, index) maximum
+    // among the conflict set can be refused — by a strictly
+    // higher-priority victim, or by the doom budget. The maximum itself
+    // always proceeds, which is what breaks the mutual-refusal livelock.
+    if check_census && preceding && (max_pv > pc || doomed.len() as u64 > budget as u64) {
+        let inherit = max_pv + 1;
+        slot.priority.fetch_max(inherit, Ordering::SeqCst);
+        tx.stm.note_priority(inherit);
+        ServerCounters::add(&st.priority_refusals, 1);
         ts.store(t + 2, Ordering::SeqCst);
         tx.lock_held = false;
         return Err(Aborted);
     }
+    let mut doomed_n = 0u64;
     for &i in &doomed {
-        let _ = tx.stm.registry.slot(i).tx_status.compare_exchange(
-            TX_ALIVE,
-            TX_INVALIDATED,
-            Ordering::SeqCst,
-            Ordering::SeqCst,
-        );
+        if tx
+            .stm
+            .registry
+            .slot(i)
+            .tx_status
+            .compare_exchange(TX_ALIVE, TX_INVALIDATED, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+        {
+            doomed_n += 1;
+        }
+    }
+    if doomed_n != 0 {
+        ServerCounters::add(&st.txs_doomed, doomed_n);
     }
     // Algorithm 1, line 20: publish the write-set.
     for e in tx.ws.entries() {

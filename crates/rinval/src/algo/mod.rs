@@ -150,6 +150,80 @@ pub(crate) trait Algorithm: sealed::Sealed + 'static {
     fn cleanup_panic(tx: &mut Txn<'_>) {
         Self::cleanup_abort(tx);
     }
+
+    /// Acquires the global irrevocable token for this thread's next
+    /// attempt (DESIGN.md §13), returning whether the token is now held.
+    /// Runs *before* [`Algorithm::pin`], outside the attempt proper.
+    /// `false` means the attempt proceeds revocably — another transaction
+    /// holds the token, or the deadline expired while draining — and
+    /// acquisition is retried on later attempts while the abort streak
+    /// persists. Default: [`seqlock_grant_token`], correct for every
+    /// engine whose commits serialize through the global seqlock; the
+    /// RInval family (server-granted) and TL2 (independent version clock)
+    /// override it.
+    #[inline]
+    fn try_acquire_irrevocable(tx: &mut Txn<'_>) -> bool {
+        seqlock_grant_token(tx)
+    }
+}
+
+/// Seqlock-engine irrevocable-token grant — the default
+/// [`Algorithm::try_acquire_irrevocable`]. Drains in-flight commits by
+/// taking the odd phase of the global seqlock itself, then claims the
+/// token word under it: while the timestamp is odd no other commit can be
+/// mid-write-back, and every commit (or, for TML/coarse, begin) that
+/// starts after the release observes the token and waits — so once
+/// granted, nothing already admitted can doom the holder.
+///
+/// The odd-phase window here contains two plain stores and a CAS — no
+/// user code — so it cannot deadlock readers spinning on parity.
+#[inline]
+pub(crate) fn seqlock_grant_token(tx: &mut Txn<'_>) -> bool {
+    use crate::registry::NO_IRREVOCABLE_HOLDER;
+    use crate::stats::ServerCounters;
+    use crate::sync::Backoff;
+    use std::sync::atomic::Ordering;
+
+    let stm = tx.stm;
+    let me = tx.slot_idx;
+    match stm.irrevocable_holder() {
+        Some(h) if h == me => return true,
+        Some(_) => return false,
+        None => {}
+    }
+    let mut bk = Backoff::new();
+    loop {
+        if tx.deadline_expired() || stm.shutdown.load(Ordering::SeqCst) {
+            return false;
+        }
+        let t = stm.timestamp.load(Ordering::SeqCst);
+        if t & 1 == 1 {
+            bk.snooze();
+            continue;
+        }
+        if stm
+            .timestamp
+            .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::SeqCst)
+            .is_err()
+        {
+            bk.snooze();
+            continue;
+        }
+        let got = stm
+            .irrevocable
+            .compare_exchange(
+                NO_IRREVOCABLE_HOLDER,
+                me,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            )
+            .is_ok();
+        stm.timestamp.store(t + 2, Ordering::SeqCst);
+        if got {
+            ServerCounters::add(&stm.server_stats.irrevocable_grants, 1);
+        }
+        return got;
+    }
 }
 
 /// The per-attempt dispatch table for body-visible operations.

@@ -137,7 +137,17 @@ pub(crate) fn commit(tx: &mut Txn<'_>) -> TxResult<()> {
     let mut bk = Backoff::new();
     // Acquire the sequence lock at our snapshot; any interleaved commit
     // forces revalidation first, so the CAS success certifies the read-set.
+    // The token gate must be explicit here (§13): `validate` happily
+    // *extends* the snapshot past the grant's version bump, so without it
+    // the CAS would succeed and abort the irrevocable holder's reads.
     loop {
+        if tx.stm.token_held_by_other(tx.slot_idx) {
+            if bk.is_yielding() && tx.deadline_expired() {
+                return Err(Aborted);
+            }
+            bk.snooze();
+            continue;
+        }
         match ts.compare_exchange(
             tx.snapshot,
             tx.snapshot + 1,

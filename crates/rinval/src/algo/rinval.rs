@@ -18,7 +18,9 @@
 use super::{invalstm, registry_begin, registry_end, sealed, Algorithm};
 use crate::faults;
 use crate::heap::Handle;
-use crate::registry::{REQ_ABORTED, REQ_COMMITTED, REQ_IDLE, REQ_PENDING, TX_INVALIDATED};
+use crate::registry::{
+    REQ_ABORTED, REQ_COMMITTED, REQ_IDLE, REQ_IRREVOCABLE, REQ_PENDING, TX_INVALIDATED,
+};
 use crate::server::withdraw_request;
 use crate::stats::ServerCounters;
 use crate::sync::Backoff;
@@ -65,6 +67,11 @@ macro_rules! rinval_engine {
                 // before deregistering the slot.
                 let _ = withdraw_request(tx.stm, tx.slot_idx);
                 registry_end(tx);
+            }
+
+            #[inline]
+            fn try_acquire_irrevocable(tx: &mut Txn<'_>) -> bool {
+                remote_grant_token(tx)
             }
         }
     };
@@ -189,4 +196,66 @@ pub(crate) fn client_commit(tx: &mut Txn<'_>) -> TxResult<()> {
     slot.req_ws_len.store(0, Ordering::Relaxed);
     slot.request_state.store(REQ_IDLE, Ordering::SeqCst);
     outcome
+}
+
+/// RInval irrevocable-token acquisition (DESIGN.md §13): the request is
+/// posted over the same cache-aligned slot as a commit — payload-free, in
+/// the distinct [`REQ_IRREVOCABLE`] state so a server never mistakes it
+/// for a commit — and the client spins on its own line for the verdict,
+/// exactly like [`client_commit`]. No CAS anywhere on the client path.
+///
+/// The commit-server grants (`COMMITTED`) only between commits and, under
+/// V2/V3, only once every invalidation-server has consumed every
+/// published commit, so the token holder's next snapshot cannot be doomed
+/// by anything admitted before the grant. Every give-up path — verdictless
+/// withdrawal at the deadline, `ABORTED` from a drain, shutdown,
+/// degradation — runs [`crate::StmInner::release_irrevocable`], which is a
+/// no-op unless a stale grant actually landed on this slot; that makes a
+/// server death between its token store and its answer self-healing.
+pub(crate) fn remote_grant_token(tx: &mut Txn<'_>) -> bool {
+    let stm = tx.stm;
+    let me = tx.slot_idx;
+    match stm.irrevocable_holder() {
+        Some(h) if h == me => return true,
+        Some(_) => return false,
+        None => {}
+    }
+    if stm.shutdown.load(Ordering::SeqCst) || stm.degraded.load(Ordering::SeqCst) {
+        return false;
+    }
+    let slot = stm.registry.slot(me);
+    slot.request_state.store(REQ_IRREVOCABLE, Ordering::SeqCst);
+    stm.registry.pending().set(me);
+
+    let took_token = |granted: bool| -> bool {
+        if granted && stm.irrevocable_holder() == Some(me) {
+            true
+        } else {
+            stm.release_irrevocable(me);
+            false
+        }
+    };
+    let mut bk = Backoff::new();
+    loop {
+        match slot.request_state.load(Ordering::SeqCst) {
+            REQ_COMMITTED => {
+                slot.request_state.store(REQ_IDLE, Ordering::SeqCst);
+                return took_token(true);
+            }
+            REQ_ABORTED => {
+                slot.request_state.store(REQ_IDLE, Ordering::SeqCst);
+                return took_token(false);
+            }
+            _ => {
+                if bk.is_yielding()
+                    && (stm.shutdown.load(Ordering::SeqCst)
+                        || stm.degraded.load(Ordering::SeqCst)
+                        || tx.deadline_expired())
+                {
+                    return took_token(withdraw_request(stm, me) == Some(true));
+                }
+                bk.snooze();
+            }
+        }
+    }
 }

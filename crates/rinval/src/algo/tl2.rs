@@ -61,6 +61,16 @@ impl Algorithm for Tl2 {
     fn commit(tx: &mut Txn<'_>) -> TxResult<()> {
         commit(tx)
     }
+
+    /// TL2 cannot use the seqlock grant: the global timestamp is its
+    /// version clock, advanced by concurrent `fetch_add`s — holding it
+    /// odd would race (and be clobbered by) a committer's bump. The token
+    /// word is claimed directly and in-flight writer commits are drained
+    /// via the [`crate::StmInner::tl2_committers`] entrant counter.
+    #[inline]
+    fn try_acquire_irrevocable(tx: &mut Txn<'_>) -> bool {
+        grant_token(tx)
+    }
 }
 
 /// Bit 0 of an orec = locked; the rest is the commit version.
@@ -135,9 +145,83 @@ pub(crate) fn read(tx: &mut Txn<'_>, h: Handle) -> TxResult<u64> {
 pub(crate) fn commit(tx: &mut Txn<'_>) -> TxResult<()> {
     if tx.ws.is_empty() {
         // Read-only TL2 transactions are consistent at `rv` and commit
-        // without any shared access.
+        // without any shared access — and change nothing, so they need no
+        // token gate either.
         return Ok(());
     }
+    enter_commit(tx)?;
+    let r = commit_writes(tx);
+    tx.stm.tl2_committers.fetch_sub(1, Ordering::SeqCst);
+    r
+}
+
+/// The writer-commit admission gate (DESIGN.md §13): while another
+/// transaction holds the irrevocable token, writer commits wait — the
+/// holder's reads must not see freshly locked orecs or post-grant
+/// versions. Entry is counted in [`crate::StmInner::tl2_committers`]; the
+/// post-increment token recheck closes the race with a grant that sampled
+/// the counter before our increment (SeqCst total order: if the granter's
+/// token CAS precedes our recheck we back out, otherwise its drain load
+/// observes our increment and waits for the matching decrement).
+fn enter_commit(tx: &mut Txn<'_>) -> TxResult<()> {
+    let stm = tx.stm;
+    let mut bk = Backoff::new();
+    loop {
+        if !stm.token_held_by_other(tx.slot_idx) {
+            stm.tl2_committers.fetch_add(1, Ordering::SeqCst);
+            if !stm.token_held_by_other(tx.slot_idx) {
+                return Ok(());
+            }
+            stm.tl2_committers.fetch_sub(1, Ordering::SeqCst);
+        }
+        if tx.deadline_expired() || stm.shutdown.load(Ordering::SeqCst) {
+            return Err(Aborted);
+        }
+        bk.snooze();
+    }
+}
+
+/// TL2's irrevocable-token acquisition: claim the token word with a CAS,
+/// then drain the entrant counter to zero. Once it reads zero, every
+/// already-admitted writer commit has released its orecs and bumped the
+/// clock; everything later observes the token at [`enter_commit`] and
+/// waits — so the holder's attempt can no longer be aborted by anyone.
+fn grant_token(tx: &mut Txn<'_>) -> bool {
+    use crate::registry::NO_IRREVOCABLE_HOLDER;
+    use crate::stats::ServerCounters;
+
+    let stm = tx.stm;
+    let me = tx.slot_idx;
+    match stm.irrevocable_holder() {
+        Some(h) if h == me => return true,
+        Some(_) => return false,
+        None => {}
+    }
+    if stm
+        .irrevocable
+        .compare_exchange(
+            NO_IRREVOCABLE_HOLDER,
+            me,
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        )
+        .is_err()
+    {
+        return false;
+    }
+    let mut bk = Backoff::new();
+    while stm.tl2_committers.load(Ordering::SeqCst) != 0 {
+        if tx.deadline_expired() || stm.shutdown.load(Ordering::SeqCst) {
+            stm.release_irrevocable(me);
+            return false;
+        }
+        bk.snooze();
+    }
+    ServerCounters::add(&stm.server_stats.irrevocable_grants, 1);
+    true
+}
+
+fn commit_writes(tx: &mut Txn<'_>) -> TxResult<()> {
     let tbl = table(tx);
     // Phase 1: lock the write-set's orecs (deduplicated: several addresses
     // may share a stripe). Bounded spin, then abort — deadlock avoidance.

@@ -53,7 +53,11 @@ pub(crate) fn begin(tx: &mut Txn<'_>) -> TxResult<()> {
     let mut bk = Backoff::new();
     loop {
         let t = ts.load(Ordering::SeqCst);
-        if t & 1 == 0 {
+        // Token gate at *begin* (§13): a TML attempt started after the
+        // grant would see a perfectly even timestamp, and its first write
+        // could then take the upgrade CAS and abort the holder's reads —
+        // commit is too late to gate, the write already holds the lock.
+        if t & 1 == 0 && !tx.stm.token_held_by_other(tx.slot_idx) {
             tx.snapshot = t;
             tx.tml_writer = false;
             return Ok(());

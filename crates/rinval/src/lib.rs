@@ -67,14 +67,14 @@ mod txn;
 
 pub use faults::{FaultAction, FaultPlan};
 pub use heap::{Handle, Heap, HeapStats};
-pub use policy::CmPolicy;
+pub use policy::{CmPolicy, StarvationConfig};
 pub use stats::{PhaseStats, ServerStats};
 pub use tvar::{TVar, Word};
 pub use txn::{ThreadHandle, Txn};
 
 use bloom::AtomicBloom;
 use registry::Registry;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -374,6 +374,27 @@ pub(crate) struct StmInner {
     pub(crate) watchdog: WatchdogConfig,
     pub(crate) profile: bool,
     pub(crate) cm_policy: policy::CmPolicy,
+    /// Starvation-freedom knobs (DESIGN.md §13).
+    pub(crate) starvation: policy::StarvationConfig,
+    /// Highest transaction priority ever published on this instance — a
+    /// monotone hint, not a live maximum. While it is zero (no
+    /// transaction has aged), the CommitterWins admission path skips the
+    /// priority census entirely, so uncontended runs pay nothing for the
+    /// starvation layer.
+    pub(crate) priority_ceiling: CachePadded<AtomicU32>,
+    /// Registry index of the transaction holding the global irrevocable
+    /// token, or [`registry::NO_IRREVOCABLE_HOLDER`]. Granted by the
+    /// commit-server (RInval) or under the seqlock / by CAS (serverless
+    /// engines); released by the holder's owner thread with a plain store.
+    pub(crate) irrevocable: CachePadded<AtomicUsize>,
+    /// In-flight TL2 write-commit count: TL2's version clock advances by
+    /// `fetch_add`, so an irrevocable grant cannot drain committers through
+    /// the seqlock — it CASes the token and then waits for this count to
+    /// reach zero instead. Unused by the other engines.
+    pub(crate) tl2_committers: CachePadded<AtomicU64>,
+    /// Whether commit-latency observations are recorded into
+    /// [`stats::ServerCounters::commit_latency`].
+    pub(crate) latency_histogram: bool,
     /// Scan/batch counters maintained by servers and InvalSTM committers.
     pub(crate) server_stats: stats::ServerCounters,
     /// TL2's ownership-record table (present only under `Tl2`).
@@ -398,6 +419,44 @@ impl StmInner {
             AlgorithmKind::InvalStm
         } else {
             self.algo
+        }
+    }
+
+    /// Records that some slot's priority was raised to `p`. The hint is
+    /// monotone and never decays: once any transaction has aged, every
+    /// later commit admission runs the census (its cost is proportional
+    /// to the live-transaction count, riding the same summary-map scan
+    /// invalidation uses).
+    #[inline]
+    pub(crate) fn note_priority(&self, p: u32) {
+        self.priority_ceiling.fetch_max(p, Ordering::SeqCst);
+    }
+
+    /// The slot currently holding the global irrevocable token, if any.
+    #[inline]
+    pub(crate) fn irrevocable_holder(&self) -> Option<usize> {
+        match self.irrevocable.load(Ordering::SeqCst) {
+            registry::NO_IRREVOCABLE_HOLDER => None,
+            idx => Some(idx),
+        }
+    }
+
+    /// True while a slot *other than* `idx` holds the irrevocable token —
+    /// the wait condition for every commit path.
+    #[inline]
+    pub(crate) fn token_held_by_other(&self, idx: usize) -> bool {
+        let h = self.irrevocable.load(Ordering::SeqCst);
+        h != registry::NO_IRREVOCABLE_HOLDER && h != idx
+    }
+
+    /// Releases the irrevocable token if slot `idx` holds it. Only the
+    /// slot's owner thread calls this (commit, failed bounded run, unwind,
+    /// handle teardown), so a conditional plain store suffices — between
+    /// grant and release nothing else writes the word.
+    pub(crate) fn release_irrevocable(&self, idx: usize) {
+        if self.irrevocable.load(Ordering::SeqCst) == idx {
+            self.irrevocable
+                .store(registry::NO_IRREVOCABLE_HOLDER, Ordering::SeqCst);
         }
     }
 
@@ -427,6 +486,8 @@ pub struct StmBuilder {
     max_threads: usize,
     profile: bool,
     cm_policy: policy::CmPolicy,
+    starvation: policy::StarvationConfig,
+    latency_histogram: bool,
     tl2_stripes: usize,
     watchdog: WatchdogConfig,
 }
@@ -469,6 +530,24 @@ impl StmBuilder {
     /// future-work variant).
     pub fn cm_policy(mut self, policy: policy::CmPolicy) -> Self {
         self.cm_policy = policy;
+        self
+    }
+
+    /// Starvation-freedom knobs: when an abort streak escalates to
+    /// irrevocable mode and when overload backpressure engages (default
+    /// [`StarvationConfig::default`]; see DESIGN.md §13). Priority aging
+    /// is always on regardless.
+    pub fn starvation(mut self, cfg: policy::StarvationConfig) -> Self {
+        self.starvation = cfg;
+        self
+    }
+
+    /// Enables the log₂ commit-latency histogram
+    /// ([`ServerStats::commit_latency`]) at the cost of two clock reads
+    /// per *commit* (not per operation, unlike [`StmBuilder::profile`]).
+    /// Off by default.
+    pub fn latency_histogram(mut self, on: bool) -> Self {
+        self.latency_histogram = on;
         self
     }
 
@@ -521,6 +600,11 @@ impl StmBuilder {
             watchdog: self.watchdog,
             profile: self.profile,
             cm_policy: self.cm_policy,
+            starvation: self.starvation,
+            priority_ceiling: CachePadded::new(AtomicU32::new(0)),
+            irrevocable: CachePadded::new(AtomicUsize::new(registry::NO_IRREVOCABLE_HOLDER)),
+            tl2_committers: CachePadded::new(AtomicU64::new(0)),
+            latency_histogram: self.latency_histogram,
             server_stats: stats::ServerCounters::default(),
             orecs: if self.algo == AlgorithmKind::Tl2 {
                 Some(algo::tl2::OrecTable::new(self.tl2_stripes))
@@ -585,6 +669,8 @@ impl Stm {
             max_threads: 64,
             profile: false,
             cm_policy: policy::CmPolicy::CommitterWins,
+            starvation: policy::StarvationConfig::default(),
+            latency_histogram: false,
             tl2_stripes: 1 << 16,
             watchdog: WatchdogConfig::default(),
         }
@@ -691,6 +777,12 @@ impl Stm {
     /// faults. See [`WatchdogConfig`] and DESIGN.md §11.
     pub fn is_degraded(&self) -> bool {
         self.inner.degraded.load(Ordering::SeqCst)
+    }
+
+    /// Registry slot currently holding the global irrevocable token, if
+    /// any (diagnostics; `None` in quiescence — a leaked holder is a bug).
+    pub fn irrevocable_holder(&self) -> Option<usize> {
+        self.inner.irrevocable_holder()
     }
 
     /// This instance's failpoint table, for arming deterministic faults in

@@ -14,6 +14,32 @@
 //! transactions its write signature intersects; if more than `max_doomed`
 //! would die, the committer aborts itself instead. The count is a single
 //! extra scan over the registry — the same loop invalidation runs anyway.
+//!
+//! ## Starvation freedom (DESIGN.md §13)
+//!
+//! Budget-based bias alone is not a liveness policy: two symmetric
+//! committers can doom each other forever, and under the paper's
+//! "winning commit" a long reader can lose to a stream of small writers
+//! without bound. [`StarvationConfig`] layers three mechanisms on top of
+//! whichever [`CmPolicy`] is active:
+//!
+//! 1. **Priority aging** — every abort raises the slot's published
+//!    priority; no invalidation path may doom a transaction that
+//!    *precedes* the committer in the total order (priority descending,
+//!    then slot index ascending). A refused committer inherits
+//!    `max(preceding priorities) + 1`, so the order has a unique maximum
+//!    that always commits.
+//! 2. **Irrevocable mode** — once a streak reaches
+//!    [`StarvationConfig::irrevocable_after`], the transaction requests
+//!    the single global irrevocable token over its existing commit slot;
+//!    the serialization point (commit-server, or the seqlock for the
+//!    serverless engines) drains in-flight commits and grants it. The
+//!    holder runs with no concurrent commits admitted, so its next
+//!    attempt cannot be invalidated.
+//! 3. **Backpressure** — when the commit queue or the doomed-per-commit
+//!    rate crosses the configured thresholds, zero-priority transactions
+//!    wait briefly before `begin`, shedding offered load before it turns
+//!    into abort storms.
 
 /// How write/read conflicts are resolved at commit time.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -45,6 +71,55 @@ impl CmPolicy {
     }
 }
 
+/// Knobs for the starvation-freedom layer (DESIGN.md §13): priority
+/// aging is always on; this struct controls when a starving transaction
+/// escalates to irrevocable mode and when the overload gate engages.
+///
+/// The defaults are deliberately conservative: irrevocability after 32
+/// consecutive aborts (far beyond what priority aging normally allows to
+/// accumulate) and backpressure only when at least half the registry has
+/// commit requests queued *or* commits are dooming four-plus readers
+/// each on average.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StarvationConfig {
+    /// Consecutive aborts of one transaction before it requests the
+    /// global irrevocable token. `u32::MAX` disables irrevocable mode
+    /// entirely (priority aging still bounds streaks).
+    pub irrevocable_after: u32,
+    /// Commit-queue occupancy (number of slots with a posted request) at
+    /// which the admission gate starts delaying zero-priority begins.
+    pub backpressure_pending: usize,
+    /// Doomed-transactions-per-commit rate (integer, measured over a
+    /// window of recent commits) at which the admission gate engages.
+    pub backpressure_doom_rate: u32,
+    /// Master switch for the backpressure gate. Priority aging and
+    /// irrevocability are unaffected.
+    pub backpressure: bool,
+}
+
+impl Default for StarvationConfig {
+    fn default() -> StarvationConfig {
+        StarvationConfig {
+            irrevocable_after: 32,
+            backpressure_pending: 32,
+            backpressure_doom_rate: 4,
+            backpressure: true,
+        }
+    }
+}
+
+impl StarvationConfig {
+    /// A configuration with irrevocable mode and backpressure both off —
+    /// the pre-liveness-layer behaviour, plus priority aging.
+    pub fn disabled() -> StarvationConfig {
+        StarvationConfig {
+            irrevocable_after: u32::MAX,
+            backpressure: false,
+            ..StarvationConfig::default()
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -59,5 +134,19 @@ mod tests {
     fn reader_bias_exposes_budget() {
         let p = CmPolicy::ReaderBias { max_doomed: 3 };
         assert_eq!(p.max_doomed(), 3);
+    }
+
+    #[test]
+    fn starvation_defaults_are_enabled() {
+        let s = StarvationConfig::default();
+        assert!(s.irrevocable_after < u32::MAX);
+        assert!(s.backpressure);
+    }
+
+    #[test]
+    fn starvation_disabled_turns_everything_off() {
+        let s = StarvationConfig::disabled();
+        assert_eq!(s.irrevocable_after, u32::MAX);
+        assert!(!s.backpressure);
     }
 }

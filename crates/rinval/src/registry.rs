@@ -62,6 +62,18 @@ pub const REQ_ABORTED: u32 = 3;
 /// recovery uses the same marker: requests a dead server left `CLAIMED`
 /// are exactly the ones whose processing may have started.
 pub const REQ_CLAIMED: u32 = 4;
+/// `request_state`: client posted a request for the global irrevocable
+/// token over the same slot protocol as a commit (DESIGN.md §13). The
+/// server (or the seqlock holder on serverless engines) answers it with
+/// `REQ_COMMITTED` once the token is granted; withdrawal CASes it back to
+/// `REQ_IDLE` exactly like an unclaimed `REQ_PENDING`. Token requests
+/// never enter `REQ_CLAIMED`: the grant is a single store, so there is no
+/// in-flight window crash recovery would need the marker for.
+pub const REQ_IRREVOCABLE: u32 = 5;
+
+/// Holder value of [`crate::Stm`]'s irrevocable-token word when nobody
+/// holds the token.
+pub const NO_IRREVOCABLE_HOLDER: usize = usize::MAX;
 
 /// Per-thread descriptor: transaction metadata + commit-request mailbox.
 ///
@@ -99,6 +111,12 @@ pub struct TxSlot {
     pub req_ws_ptr: AtomicPtr<WriteEntry>,
     /// Length of the write-set at `req_ws_ptr`.
     pub req_ws_len: AtomicUsize,
+    /// Published starvation priority (DESIGN.md §13). Raised by the owner
+    /// with its abort streak and by servers granting inheritance
+    /// (`fetch_max` only, so concurrent raises never lose); reset to zero
+    /// by the owner on commit and by [`Registry::release`]. Read by every
+    /// census scan — it rides the same slot visit the scan makes anyway.
+    pub priority: AtomicU32,
 }
 
 impl Default for TxSlot {
@@ -112,6 +130,7 @@ impl Default for TxSlot {
             req_write_bf: AtomicBloom::new(),
             req_ws_ptr: AtomicPtr::new(std::ptr::null_mut()),
             req_ws_len: AtomicUsize::new(0),
+            priority: AtomicU32::new(0),
         }
     }
 }
@@ -137,6 +156,17 @@ impl TxSlot {
     pub fn is_live(&self) -> bool {
         self.tx_status.load(Ordering::SeqCst) != TX_IDLE
     }
+}
+
+/// The starvation total order (DESIGN.md §13): true when the live
+/// transaction in slot `v_idx` with priority `pv` *precedes* the
+/// committer in slot `c_idx` with priority `pc` — higher priority first,
+/// ties broken by lower slot index. A committer must not doom a victim
+/// that precedes it; the order has a unique global maximum, which no one
+/// may refuse, so some transaction always makes progress.
+#[inline]
+pub fn precedes(pv: u32, v_idx: usize, pc: u32, c_idx: usize) -> bool {
+    pv > pc || (pv == pc && v_idx < c_idx)
 }
 
 /// Fixed array of [`TxSlot`]s plus slot-index recycling and the summary
@@ -198,6 +228,7 @@ impl Registry {
         self.slots[idx].tx_status.store(TX_IDLE, Ordering::SeqCst);
         self.slots[idx].request_state.store(REQ_IDLE, Ordering::SeqCst);
         self.slots[idx].start_era.store(u64::MAX, Ordering::SeqCst);
+        self.slots[idx].priority.store(0, Ordering::SeqCst);
         self.slots[idx].read_bf.owner_clear();
         self.pending.clear(idx);
         self.live.clear(idx);
@@ -399,6 +430,30 @@ mod tests {
         assert!(reg.live().get(0), "invalidated (still live) slot lost its bit");
         reg.end(0);
         assert!(!reg.slot(0).is_live());
+    }
+
+    #[test]
+    fn release_resets_priority() {
+        let reg = Registry::new(1);
+        let idx = reg.claim().unwrap();
+        reg.slot(idx).priority.store(9, Ordering::SeqCst);
+        reg.release(idx);
+        assert_eq!(reg.slot(idx).priority.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn precedence_is_a_total_order_with_unique_maximum() {
+        // Higher priority precedes; equal priority falls back to index.
+        assert!(precedes(2, 5, 1, 0));
+        assert!(!precedes(1, 0, 2, 5));
+        assert!(precedes(1, 0, 1, 1));
+        assert!(!precedes(1, 1, 1, 0));
+        // Irreflexive: a transaction never precedes itself.
+        assert!(!precedes(3, 4, 3, 4));
+        // Exactly one of any distinct pair precedes the other.
+        for (pv, v, pc, c) in [(0, 0, 0, 1), (1, 3, 2, 0), (5, 2, 5, 7)] {
+            assert_ne!(precedes(pv, v, pc, c), precedes(pc, c, pv, v));
+        }
     }
 
     #[test]

@@ -95,7 +95,8 @@ use crate::bloom::Bloom;
 use crate::faults::{self, FaultAction};
 use crate::logs::WriteEntry;
 use crate::registry::{
-    REQ_ABORTED, REQ_CLAIMED, REQ_COMMITTED, REQ_IDLE, REQ_PENDING, TX_ALIVE, TX_INVALIDATED,
+    precedes, NO_IRREVOCABLE_HOLDER, REQ_ABORTED, REQ_CLAIMED, REQ_COMMITTED, REQ_IDLE,
+    REQ_IRREVOCABLE, REQ_PENDING, TX_ALIVE, TX_INVALIDATED,
 };
 use crate::stats::ServerCounters;
 use crate::sync::Backoff;
@@ -145,6 +146,7 @@ fn invalidate_conflicting(
     let st = &stm.server_stats;
     ServerCounters::add(&st.inval_scans, 1);
     let mut visited = 0u64;
+    let mut doomed = 0u64;
     for i in stm.registry.live().iter_set_bits() {
         if mask_get(skip_mask, i) {
             continue;
@@ -160,37 +162,148 @@ fn invalidate_conflicting(
             // CAS (not store) so an already-idle slot is never marked: the
             // server must not leak an INVALIDATED flag into a slot that has
             // since been recycled to a different thread.
-            let _ = slot.tx_status.compare_exchange(
-                TX_ALIVE,
-                TX_INVALIDATED,
-                Ordering::SeqCst,
-                Ordering::SeqCst,
-            );
+            if slot
+                .tx_status
+                .compare_exchange(TX_ALIVE, TX_INVALIDATED, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                doomed += 1;
+            }
         }
     }
     ServerCounters::add(&st.inval_slots_visited, visited);
+    if doomed != 0 {
+        ServerCounters::add(&st.txs_doomed, doomed);
+    }
 }
 
-/// Counts live transactions (other than `skip`) whose read signature
-/// intersects `wbf` — the reader-bias policy's doom census. Walks only the
-/// `live` summary map.
-fn count_conflicting(stm: &StmInner, wbf: &Bloom, skip: usize) -> u32 {
+/// Commit admission census (DESIGN.md §13): walks the `live` summary map
+/// counting the transactions the commit of slot `c_idx` (priority `pc`)
+/// would doom, and applies the priority/budget rule. Returns
+/// `Some(inherited_priority)` when the commit must be **refused**:
+///
+/// * some conflicting victim *precedes* the committer in the total order
+///   (priority descending, then slot index ascending), **and**
+/// * either a victim's priority strictly exceeds `pc` (hard refusal —
+///   applies even under CommitterWins) or the total doom count exceeds
+///   the [`crate::CmPolicy`] budget.
+///
+/// The caller must raise the committer's published priority to the
+/// returned value: the refused side inherits `max(victim priority) + 1 >
+/// pc`, so the order keeps a unique maximum that is never refused —
+/// repeated mutual refusals cannot cycle forever at one priority level.
+/// When no victim precedes the committer (it already is the local
+/// maximum), the budget does not apply: an aged committer may doom any
+/// number of younger readers, which is exactly the ReaderBias-livelock
+/// escape. Refusal happens only here, at admission; post-admission
+/// invalidation scans doom *every* conflicting reader regardless of
+/// priority (skipping one after write-back is admitted would leave it on
+/// an inconsistent snapshot).
+///
+/// Under CommitterWins with a zero [`crate::StmInner::priority_ceiling`]
+/// (nothing has aged) the rule cannot fire and the scan is skipped
+/// entirely.
+fn census_refusal(stm: &StmInner, wbf: &Bloom, c_idx: usize, pc: u32) -> Option<u32> {
+    let budget = stm.cm_policy.max_doomed();
+    if budget == u32::MAX && stm.priority_ceiling.load(Ordering::SeqCst) == 0 {
+        return None;
+    }
     let st = &stm.server_stats;
     ServerCounters::add(&st.inval_scans, 1);
     let mut visited = 0u64;
-    let mut n = 0;
+    let mut total = 0u32;
+    let mut max_pv = 0u32;
+    let mut preceding = false;
     for i in stm.registry.live().iter_set_bits() {
-        if i == skip {
+        if i == c_idx {
             continue;
         }
         visited += 1;
         let slot = stm.registry.slot(i);
         if slot.is_live() && slot.read_bf.intersects_plain(wbf) {
-            n += 1;
+            total += 1;
+            let pv = slot.priority.load(Ordering::SeqCst);
+            max_pv = max_pv.max(pv);
+            preceding |= precedes(pv, i, pc, c_idx);
         }
     }
     ServerCounters::add(&st.inval_slots_visited, visited);
-    n
+    if preceding && (max_pv > pc || total > budget) {
+        Some(max_pv + 1)
+    } else {
+        None
+    }
+}
+
+/// Refuses a claimed commit request on census grounds: raises the
+/// requester's published priority to `inherit`, answers `ABORTED` and
+/// counts the refusal. The pending bit must already be cleared.
+fn refuse_request(stm: &StmInner, i: usize, inherit: u32) {
+    let slot = stm.registry.slot(i);
+    slot.priority.fetch_max(inherit, Ordering::SeqCst);
+    stm.note_priority(inherit);
+    slot.request_state.store(REQ_ABORTED, Ordering::SeqCst);
+    ServerCounters::add(&stm.server_stats.priority_refusals, 1);
+}
+
+/// Best posted irrevocable-token request — the pending slot in
+/// [`REQ_IRREVOCABLE`] state that precedes every other requester — if any.
+fn token_request(stm: &StmInner) -> Option<usize> {
+    let mut best: Option<(u32, usize)> = None;
+    for i in stm.registry.pending().iter_set_bits() {
+        let slot = stm.registry.slot(i);
+        if slot.request_state.load(Ordering::SeqCst) != REQ_IRREVOCABLE {
+            continue;
+        }
+        let pv = slot.priority.load(Ordering::SeqCst);
+        best = match best {
+            Some((bp, bi)) if !precedes(pv, i, bp, bi) => Some((bp, bi)),
+            _ => Some((pv, i)),
+        };
+    }
+    best.map(|(_, i)| i)
+}
+
+/// Grants the global irrevocable token to slot `i`'s posted request over
+/// the ordinary slot protocol: store the token word, then answer the
+/// request with the `IRREVOCABLE → COMMITTED` CAS. A CAS failure means
+/// the client withdrew at its deadline — the tentative grant is rolled
+/// back (CAS, because after a client-side release another slot may
+/// legitimately have taken the token in between). If the token already
+/// names `i` (a server died between its token store and its answer), the
+/// grant is simply re-answered — idempotent across respawns.
+///
+/// The caller must ensure no commit is in flight and (V2/V3) every
+/// invalidation-server has caught up, so that nothing admitted before the
+/// grant can still doom the holder's next attempt.
+fn try_grant_token(stm: &StmInner, i: usize) -> bool {
+    match stm.irrevocable.load(Ordering::SeqCst) {
+        NO_IRREVOCABLE_HOLDER => stm.irrevocable.store(i, Ordering::SeqCst),
+        h if h == i => {}
+        _ => return false,
+    }
+    stm.registry.pending().clear(i);
+    if stm.registry.slot(i)
+        .request_state
+        .compare_exchange(
+            REQ_IRREVOCABLE,
+            REQ_COMMITTED,
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        )
+        .is_ok()
+    {
+        ServerCounters::add(&stm.server_stats.irrevocable_grants, 1);
+        true
+    } else {
+        let _ = stm.irrevocable.compare_exchange(
+            i,
+            NO_IRREVOCABLE_HOLDER,
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        );
+        false
+    }
 }
 
 /// Polls a server's failpoints at the top of a pass. Returns `false` when
@@ -247,11 +360,41 @@ pub(crate) fn commit_server_v1(stm: &StmInner) {
         }
         ServerCounters::add(&st.scan_passes, 1);
         let mut answered = false;
+        // Irrevocable-token grant point (DESIGN.md §13). V1 has no commit
+        // in flight between passes, so a posted token request can be
+        // granted right at the top of a pass. While a holder exists only
+        // its own requests are served; everyone else's pending bits stay
+        // set until the holder commits (client spins have bounded
+        // deadline/shutdown escapes).
+        let mut holder = stm.irrevocable_holder();
+        match holder {
+            None => {
+                if let Some(r) = token_request(stm) {
+                    if try_grant_token(stm, r) {
+                        holder = Some(r);
+                        answered = true;
+                    }
+                }
+            }
+            Some(h) => {
+                // A server that died between its token store and its
+                // answer leaves the holder waiting on an unanswered
+                // request; re-answering here is idempotent.
+                if stm.registry.slot(h).request_state.load(Ordering::SeqCst) == REQ_IRREVOCABLE
+                    && try_grant_token(stm, h)
+                {
+                    answered = true;
+                }
+            }
+        }
         batch.clear();
         batch_wbf.clear();
         batch_rbf.clear();
         batch_mask.iter_mut().for_each(|w| *w = 0);
         for i in stm.registry.pending().iter_set_bits() {
+            if holder.is_some_and(|h| h != i) {
+                continue;
+            }
             ServerCounters::add(&st.slots_visited, 1);
             let slot = stm.registry.slot(i);
             // Line 14, hardened: *claim* the request rather than just
@@ -279,15 +422,18 @@ pub(crate) fn commit_server_v1(stm: &StmInner) {
                 continue;
             }
             slot.req_write_bf.load_into(&mut wbf);
-            // Reader-bias policy (§V future work): yield to the readers if
-            // this commit would doom too many of them. Checked per request
-            // at admission, so batching preserves the per-commit budget.
-            let budget = stm.cm_policy.max_doomed();
-            if budget != u32::MAX && count_conflicting(stm, &wbf, i) > budget {
-                stm.registry.pending().clear(i);
-                slot.request_state.store(REQ_ABORTED, Ordering::SeqCst);
-                answered = true;
-                continue;
+            // Admission census (§13): priority/budget refusal, checked per
+            // request at admission so batching preserves the per-commit
+            // budget. The token holder bypasses it — its commit must never
+            // be refused or the grant's progress guarantee is void.
+            if holder != Some(i) {
+                let pc = slot.priority.load(Ordering::SeqCst);
+                if let Some(inherit) = census_refusal(stm, &wbf, i, pc) {
+                    stm.registry.pending().clear(i);
+                    refuse_request(stm, i, inherit);
+                    answered = true;
+                    continue;
+                }
             }
             // Batch admission: fully independent of every member, or stay
             // pending and serialize behind this batch on a later pass. The
@@ -368,7 +514,42 @@ pub(crate) fn commit_server_v2(stm: &StmInner) {
         }
         ServerCounters::add(&st.scan_passes, 1);
         let mut answered = false;
+        // Irrevocable-token grant point (DESIGN.md §13). Unlike V1, a
+        // grant here must wait for every invalidation-server to have
+        // consumed every published commit: a lagging ring scan could
+        // otherwise doom the holder's fresh snapshot after the grant.
+        // Until the invalidators catch up the server *drains* — admits no
+        // further commits this pass — so the precondition converges.
+        let mut holder = stm.irrevocable_holder();
+        match holder {
+            None => {
+                if let Some(r) = token_request(stm) {
+                    let t = stm.timestamp.load(Ordering::SeqCst);
+                    if (0..nk).all(|k| stm.inval_ts[k].load(Ordering::SeqCst) >= t) {
+                        if try_grant_token(stm, r) {
+                            holder = Some(r);
+                            answered = true;
+                        }
+                    } else {
+                        idle.snooze();
+                        continue 'scan;
+                    }
+                }
+            }
+            Some(h) => {
+                // Re-answer a grant a dead server stored but never
+                // answered (idempotent across respawns).
+                if stm.registry.slot(h).request_state.load(Ordering::SeqCst) == REQ_IRREVOCABLE
+                    && try_grant_token(stm, h)
+                {
+                    answered = true;
+                }
+            }
+        }
         for i in stm.registry.pending().iter_set_bits() {
+            if holder.is_some_and(|h| h != i) {
+                continue;
+            }
             ServerCounters::add(&st.slots_visited, 1);
             let slot = stm.registry.slot(i);
             // Cheap pre-filter; the authoritative pickup is the CAS below.
@@ -429,12 +610,15 @@ pub(crate) fn commit_server_v2(stm: &StmInner) {
             // its own read signature) to the invalidation-servers via the
             // ring slot for commit number t/2.
             slot.req_write_bf.load_into(&mut wbf);
-            // Reader-bias policy (§V future work): the commit-server does
-            // the census itself before involving the invalidation-servers.
-            let budget = stm.cm_policy.max_doomed();
-            if budget != u32::MAX && count_conflicting(stm, &wbf, i) > budget {
-                slot.request_state.store(REQ_ABORTED, Ordering::SeqCst);
-                continue;
+            // Admission census (§13): the commit-server applies the
+            // priority/budget refusal itself before involving the
+            // invalidation-servers. The token holder bypasses it.
+            if holder != Some(i) {
+                let pc = slot.priority.load(Ordering::SeqCst);
+                if let Some(inherit) = census_refusal(stm, &wbf, i, pc) {
+                    refuse_request(stm, i, inherit);
+                    continue;
+                }
             }
             let ring_idx = ((t / 2) % ring) as usize;
             stm.commit_ring[ring_idx].store_from(&wbf);
@@ -520,10 +704,17 @@ pub(crate) fn withdraw_request(stm: &StmInner, idx: usize) -> Option<bool> {
     loop {
         match slot.request_state.load(Ordering::SeqCst) {
             REQ_IDLE => return None,
-            REQ_PENDING => {
+            // An irrevocable-token request withdraws exactly like a commit
+            // request: the `→ IDLE` CAS races the server's grant answer
+            // (`IRREVOCABLE → COMMITTED`), and exactly one side wins. If
+            // the server won, the verdict arm below surfaces the grant and
+            // the caller is responsible for releasing the token it may now
+            // hold (`StmInner::release_irrevocable` is a no-op for
+            // non-holders).
+            state @ (REQ_PENDING | REQ_IRREVOCABLE) => {
                 if slot
                     .request_state
-                    .compare_exchange(REQ_PENDING, REQ_IDLE, Ordering::SeqCst, Ordering::SeqCst)
+                    .compare_exchange(state, REQ_IDLE, Ordering::SeqCst, Ordering::SeqCst)
                     .is_ok()
                 {
                     // Won the race: no server ever owned this request.
@@ -559,10 +750,23 @@ pub(crate) fn withdraw_request(stm: &StmInner, idx: usize) -> Option<bool> {
 pub(crate) fn drain_requests_abort(stm: &StmInner) {
     for i in stm.registry.pending().iter_set_bits() {
         let slot = stm.registry.slot(i);
+        // Token requests are drained too (direct `IRREVOCABLE → ABORTED`;
+        // no server claims them, so no CLAIMED intermediate is needed) —
+        // a client spinning for a grant no server will ever issue must be
+        // woken just like one spinning for a commit verdict.
         if slot
             .request_state
             .compare_exchange(REQ_PENDING, REQ_CLAIMED, Ordering::SeqCst, Ordering::SeqCst)
             .is_ok()
+            || slot
+                .request_state
+                .compare_exchange(
+                    REQ_IRREVOCABLE,
+                    REQ_CLAIMED,
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                )
+                .is_ok()
         {
             stm.registry.pending().clear(i);
             slot.request_state.store(REQ_ABORTED, Ordering::SeqCst);
@@ -950,5 +1154,119 @@ mod tests {
         assert_eq!(s.degradations, 1);
         assert_eq!(s.drained_requests, 1);
         inner.registry.release(idx);
+    }
+
+    #[test]
+    fn grant_token_over_slot_protocol() {
+        let inner = inner_v1();
+        let idx = inner.registry.claim().unwrap();
+        let slot = inner.registry.slot(idx);
+        slot.request_state.store(REQ_IRREVOCABLE, Ordering::SeqCst);
+        inner.registry.pending().set(idx);
+
+        assert_eq!(token_request(&inner), Some(idx));
+        assert!(try_grant_token(&inner, idx));
+        assert_eq!(inner.irrevocable_holder(), Some(idx));
+        assert_eq!(slot.request_state.load(Ordering::SeqCst), REQ_COMMITTED);
+        assert!(!inner.registry.pending().get(idx));
+        assert_eq!(inner.server_stats.snapshot().irrevocable_grants, 1);
+
+        // The grant is the verdict the client takes over the usual path.
+        assert_eq!(withdraw_request(&inner, idx), Some(true));
+        inner.release_irrevocable(idx);
+        assert_eq!(inner.irrevocable_holder(), None);
+        inner.registry.release(idx);
+    }
+
+    #[test]
+    fn grant_rolls_back_when_client_withdrew() {
+        let inner = inner_v1();
+        let idx = inner.registry.claim().unwrap();
+        let slot = inner.registry.slot(idx);
+        slot.request_state.store(REQ_IRREVOCABLE, Ordering::SeqCst);
+        inner.registry.pending().set(idx);
+
+        // Client hit its deadline and retracted before the server's
+        // answer landed.
+        assert_eq!(withdraw_request(&inner, idx), None);
+        assert!(!try_grant_token(&inner, idx));
+        assert_eq!(inner.irrevocable_holder(), None);
+        assert_eq!(inner.server_stats.snapshot().irrevocable_grants, 0);
+        inner.registry.release(idx);
+    }
+
+    #[test]
+    fn token_request_prefers_priority_then_index() {
+        let inner = inner_v1();
+        let a = inner.registry.claim().unwrap();
+        let b = inner.registry.claim().unwrap();
+        for &i in &[a, b] {
+            inner
+                .registry
+                .slot(i)
+                .request_state
+                .store(REQ_IRREVOCABLE, Ordering::SeqCst);
+            inner.registry.pending().set(i);
+        }
+        // Equal priority: the lower index precedes.
+        assert_eq!(token_request(&inner), Some(a.min(b)));
+        // A strictly higher priority beats the index tiebreak.
+        let hi = a.max(b);
+        inner.registry.slot(hi).priority.store(7, Ordering::SeqCst);
+        assert_eq!(token_request(&inner), Some(hi));
+
+        for &i in &[a, b] {
+            inner
+                .registry
+                .slot(i)
+                .request_state
+                .store(REQ_IDLE, Ordering::SeqCst);
+            inner.registry.pending().clear(i);
+            inner.registry.release(i);
+        }
+    }
+
+    #[test]
+    fn drain_aborts_token_requests() {
+        let inner = inner_v1();
+        let idx = inner.registry.claim().unwrap();
+        let slot = inner.registry.slot(idx);
+        slot.request_state.store(REQ_IRREVOCABLE, Ordering::SeqCst);
+        inner.registry.pending().set(idx);
+
+        drain_requests_abort(&inner);
+
+        assert_eq!(slot.request_state.load(Ordering::SeqCst), REQ_ABORTED);
+        assert!(!inner.registry.pending().get(idx));
+        assert_eq!(inner.irrevocable_holder(), None);
+        inner.registry.release(idx);
+    }
+
+    #[test]
+    fn census_gate_skips_scan_without_aged_priorities() {
+        // CommitterWins + zero ceiling: no refusal, regardless of victims.
+        let inner = inner_v1();
+        let rd = inner.registry.claim().unwrap();
+        let h = inner.heap.alloc(1).unwrap();
+        inner.registry.begin(rd, 0);
+        inner.registry.slot(rd).read_bf.owner_insert(h.addr());
+        let mut wbf = Bloom::new();
+        wbf.insert(h.addr());
+
+        let c = inner.registry.claim().unwrap();
+        assert_eq!(census_refusal(&inner, &wbf, c, 0), None);
+
+        // Once a victim has aged past the committer, the same commit is
+        // refused and the refusal hands back a strictly greater priority.
+        inner.registry.slot(rd).priority.store(5, Ordering::SeqCst);
+        inner.note_priority(5);
+        assert_eq!(census_refusal(&inner, &wbf, c, 0), Some(6));
+        // …but the aged side itself (as committer) is never refused by a
+        // lower-priority reader: it is the order's local maximum.
+        assert_eq!(census_refusal(&inner, &wbf, c, 6), None);
+
+        inner.registry.end(rd);
+        inner.registry.release(rd);
+        inner.registry.release(c);
     }
 }

@@ -122,12 +122,46 @@ pub struct ServerCounters {
     /// Outstanding requests answered with an abort verdict by shutdown or
     /// crash-recovery drains rather than by normal server processing.
     pub drained_requests: AtomicU64,
+    /// Live transactions doomed by admitted commits (every invalidation
+    /// path). `txs_doomed / commits` is the doom rate the backpressure
+    /// gate watches.
+    pub txs_doomed: AtomicU64,
+    /// Commits refused because a conflicting live transaction preceded
+    /// the committer in the starvation order (DESIGN.md §13); each refusal
+    /// raised the committer's inherited priority.
+    pub priority_refusals: AtomicU64,
+    /// Irrevocable-token grants (server- or seqlock-side).
+    pub irrevocable_grants: AtomicU64,
+    /// Begins delayed by the overload admission gate.
+    pub backpressure_delays: AtomicU64,
+    /// Highest abort streak any transaction reached (`fetch_max`, so the
+    /// mark survives the streak's own reset on commit).
+    pub streak_high_water: AtomicU64,
+    /// log₂ commit-latency histogram: bucket `i` counts commits whose
+    /// attempt latency fell in `[2^i, 2^(i+1))` nanoseconds. Recording is
+    /// opt-in ([`crate::StmBuilder::latency_histogram`]) — it costs two
+    /// `Instant::now()` calls per commit. Exactly 32 buckets (≈ 4 s cap),
+    /// which is also the widest array the std `Default`/`Eq` impls cover.
+    pub commit_latency: [AtomicU64; 32],
 }
 
 impl ServerCounters {
     #[inline]
     pub(crate) fn add(counter: &AtomicU64, n: u64) {
         counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Raises `counter` to at least `n` (relaxed `fetch_max`).
+    #[inline]
+    pub(crate) fn raise(counter: &AtomicU64, n: u64) {
+        counter.fetch_max(n, Ordering::Relaxed);
+    }
+
+    /// Adds one commit latency observation to the log₂ histogram.
+    #[inline]
+    pub(crate) fn record_latency_ns(&self, ns: u64) {
+        let bucket = (ns.max(1).ilog2() as usize).min(31);
+        self.commit_latency[bucket].fetch_add(1, Ordering::Relaxed);
     }
 
     /// A plain-value snapshot of the current counters.
@@ -146,6 +180,12 @@ impl ServerCounters {
             timed_out_requests: self.timed_out_requests.load(Ordering::Relaxed),
             withdrawn_requests: self.withdrawn_requests.load(Ordering::Relaxed),
             drained_requests: self.drained_requests.load(Ordering::Relaxed),
+            txs_doomed: self.txs_doomed.load(Ordering::Relaxed),
+            priority_refusals: self.priority_refusals.load(Ordering::Relaxed),
+            irrevocable_grants: self.irrevocable_grants.load(Ordering::Relaxed),
+            backpressure_delays: self.backpressure_delays.load(Ordering::Relaxed),
+            streak_high_water: self.streak_high_water.load(Ordering::Relaxed),
+            commit_latency: std::array::from_fn(|i| self.commit_latency[i].load(Ordering::Relaxed)),
         }
     }
 }
@@ -180,6 +220,20 @@ pub struct ServerStats {
     pub withdrawn_requests: u64,
     /// Requests answered with aborts by shutdown/recovery drains.
     pub drained_requests: u64,
+    /// Live transactions doomed by admitted commits.
+    pub txs_doomed: u64,
+    /// Commits refused in favour of a preceding live transaction.
+    pub priority_refusals: u64,
+    /// Irrevocable-token grants.
+    pub irrevocable_grants: u64,
+    /// Begins delayed by the overload admission gate.
+    pub backpressure_delays: u64,
+    /// Highest abort streak any transaction reached.
+    pub streak_high_water: u64,
+    /// log₂ commit-latency histogram (bucket `i` = `[2^i, 2^(i+1))` ns);
+    /// all-zero unless the instance was built with
+    /// [`crate::StmBuilder::latency_histogram`].
+    pub commit_latency: [u64; 32],
 }
 
 impl ServerStats {
@@ -229,7 +283,43 @@ impl ServerStats {
             timed_out_requests: self.timed_out_requests - earlier.timed_out_requests,
             withdrawn_requests: self.withdrawn_requests - earlier.withdrawn_requests,
             drained_requests: self.drained_requests - earlier.drained_requests,
+            txs_doomed: self.txs_doomed - earlier.txs_doomed,
+            priority_refusals: self.priority_refusals - earlier.priority_refusals,
+            irrevocable_grants: self.irrevocable_grants - earlier.irrevocable_grants,
+            backpressure_delays: self.backpressure_delays - earlier.backpressure_delays,
+            // A high-water mark has no meaningful difference; report the
+            // later window's mark as-is.
+            streak_high_water: self.streak_high_water,
+            commit_latency: std::array::from_fn(|i| {
+                self.commit_latency[i] - earlier.commit_latency[i]
+            }),
         }
+    }
+
+    /// True once the instance has degraded off its nominal algorithm — the
+    /// soak job's health assertion.
+    pub fn degraded(&self) -> bool {
+        self.degradations != 0
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) of the commit-latency histogram in
+    /// nanoseconds, as the upper edge of the bucket containing it; `None`
+    /// when no latencies were recorded. Bucket resolution makes this exact
+    /// to within a factor of 2, which is what a log₂ histogram promises.
+    pub fn latency_quantile_ns(&self, q: f64) -> Option<u64> {
+        let total: u64 = self.commit_latency.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.commit_latency.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Some(1u64 << (i as u32 + 1).min(63));
+            }
+        }
+        Some(u64::MAX)
     }
 
     /// True when any recovery-path counter is nonzero — a quick flag for
@@ -393,6 +483,59 @@ mod tests {
         let s = ServerStats::default();
         assert_eq!(s.visited_per_pass(), 0.0);
         assert_eq!(s.mean_batch_size(), 0.0);
+    }
+
+    #[test]
+    fn fairness_counters_snapshot_and_since() {
+        let c = ServerCounters::default();
+        ServerCounters::add(&c.txs_doomed, 5);
+        ServerCounters::add(&c.priority_refusals, 2);
+        ServerCounters::add(&c.irrevocable_grants, 1);
+        ServerCounters::add(&c.backpressure_delays, 3);
+        ServerCounters::raise(&c.streak_high_water, 9);
+        ServerCounters::raise(&c.streak_high_water, 4); // must not lower it
+        let s = c.snapshot();
+        assert_eq!(s.txs_doomed, 5);
+        assert_eq!(s.priority_refusals, 2);
+        assert_eq!(s.irrevocable_grants, 1);
+        assert_eq!(s.backpressure_delays, 3);
+        assert_eq!(s.streak_high_water, 9);
+        assert!(!s.degraded());
+
+        ServerCounters::add(&c.txs_doomed, 2);
+        let d = c.snapshot().since(&s);
+        assert_eq!(d.txs_doomed, 2);
+        assert_eq!(d.priority_refusals, 0);
+        assert_eq!(d.streak_high_water, 9, "high-water mark carries over");
+    }
+
+    #[test]
+    fn latency_histogram_buckets_and_quantiles() {
+        let c = ServerCounters::default();
+        assert_eq!(c.snapshot().latency_quantile_ns(0.5), None);
+        // 0/1 ns land in bucket 0; 1000 ns in bucket 9; huge values clamp
+        // into the last bucket.
+        c.record_latency_ns(0);
+        c.record_latency_ns(1);
+        c.record_latency_ns(1000);
+        c.record_latency_ns(u64::MAX);
+        let s = c.snapshot();
+        assert_eq!(s.commit_latency[0], 2);
+        assert_eq!(s.commit_latency[9], 1);
+        assert_eq!(s.commit_latency[31], 1);
+        assert_eq!(s.commit_latency.iter().sum::<u64>(), 4);
+        // p50 of {~1, ~1, ~1024, ~big} is the second observation's bucket.
+        assert_eq!(s.latency_quantile_ns(0.5), Some(2));
+        assert_eq!(s.latency_quantile_ns(0.99), Some(1u64 << 32));
+        assert_eq!(s.latency_quantile_ns(0.0), Some(2));
+    }
+
+    #[test]
+    fn degraded_flag_tracks_degradations() {
+        let c = ServerCounters::default();
+        assert!(!c.snapshot().degraded());
+        ServerCounters::add(&c.degradations, 1);
+        assert!(c.snapshot().degraded());
     }
 
     #[test]

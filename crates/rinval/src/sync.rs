@@ -125,6 +125,17 @@ impl AtomicBitmap {
         self.words.iter().any(|w| w.load(Ordering::SeqCst) != 0)
     }
 
+    /// Number of set bits (one popcount per word; a per-word snapshot, not
+    /// an atomic total). Used by the backpressure gate as a cheap
+    /// commit-queue occupancy estimate — with the default 64 slots this is
+    /// a single load.
+    pub fn count_set(&self) -> usize {
+        self.words
+            .iter()
+            .map(|w| w.load(Ordering::Relaxed).count_ones() as usize)
+            .sum()
+    }
+
     /// Iterates the indices of set bits in ascending order.
     ///
     /// Each underlying word is loaded exactly once, so the iteration is a
@@ -342,6 +353,18 @@ mod tests {
         }
         let got: Vec<usize> = bm.iter_set_bits().collect();
         assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn bitmap_count_set() {
+        let bm = AtomicBitmap::new(200);
+        assert_eq!(bm.count_set(), 0);
+        for i in [0usize, 63, 64, 199] {
+            bm.set(i);
+        }
+        assert_eq!(bm.count_set(), 4);
+        bm.clear(64);
+        assert_eq!(bm.count_set(), 3);
     }
 
     #[test]

@@ -31,9 +31,11 @@ use crate::cm::ContentionManager;
 use crate::faults;
 use crate::heap::{Handle, HeapCache};
 use crate::logs::{AllocLog, ValueReadSet, WriteSet};
-use crate::stats::{PhaseStats, Probe};
+use crate::stats::{PhaseStats, Probe, ServerCounters};
+use crate::sync::Backoff;
 use crate::{Aborted, StmInner, TxError, TxResult};
 use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
 use std::time::{Duration, Instant};
 
 /// Per-registered-thread transaction context.
@@ -51,6 +53,11 @@ pub struct ThreadHandle<'a> {
     alog: AllocLog,
     cache: HeapCache,
     stats: PhaseStats,
+    /// Backpressure window anchor: `txs_doomed` at the last window roll.
+    bp_doomed: u64,
+    /// Backpressure window anchor: commit count (timestamp / 2) at the
+    /// last window roll.
+    bp_commits: u64,
 }
 
 impl<'a> ThreadHandle<'a> {
@@ -68,6 +75,75 @@ impl<'a> ThreadHandle<'a> {
             // recycling (one shared read per thread lifetime).
             cache: HeapCache::new_at(stm.heap.current_era()),
             stats: PhaseStats::default(),
+            bp_doomed: 0,
+            bp_commits: 0,
+        }
+    }
+
+    /// Whether the instance currently looks overloaded — the §13 admission
+    /// signal. Two indicators, either suffices: the commit queue is deep
+    /// (pending summary-map occupancy ≥ `backpressure_pending`), or the
+    /// recent doomed-per-commit rate crossed `backpressure_doom_rate`
+    /// (measured over a rolling window of at least 8 commits, anchored
+    /// per-thread so no shared state is written). All loads are relaxed —
+    /// this is a heuristic, not a protocol edge.
+    #[inline]
+    fn admission_saturated(&mut self) -> bool {
+        let cfg = &self.stm.starvation;
+        if !cfg.backpressure {
+            return false;
+        }
+        if self.stm.registry.pending().count_set() >= cfg.backpressure_pending {
+            return true;
+        }
+        let commits = self.stm.timestamp.load(Ordering::Relaxed) / 2;
+        let d_commits = commits.saturating_sub(self.bp_commits);
+        if d_commits < 8 {
+            return false;
+        }
+        self.doom_rate_crossed(commits, d_commits)
+    }
+
+    /// The windowed doomed-per-commit check — off the inlined fast path;
+    /// reached at most once per 8 commits (the window anchor resets here).
+    #[cold]
+    #[inline(never)]
+    fn doom_rate_crossed(&mut self, commits: u64, d_commits: u64) -> bool {
+        let doomed = self.stm.server_stats.txs_doomed.load(Ordering::Relaxed);
+        let d_doomed = doomed.saturating_sub(self.bp_doomed);
+        self.bp_doomed = doomed;
+        self.bp_commits = commits;
+        d_doomed / d_commits >= self.stm.starvation.backpressure_doom_rate as u64
+    }
+
+    /// The overload admission gate, run once per attempt *before* the
+    /// engine is entered. Under saturation a zero-streak (i.e. lowest
+    /// priority, not yet victimized) transaction's begin is delayed by one
+    /// bounded backoff ramp, giving the already-aborted transactions the
+    /// machine; aged transactions are never delayed. Returns the sampled
+    /// saturation flag so the abort path can pass it to the contention
+    /// manager (which then always yields rather than spins).
+    #[inline]
+    fn backpressure_gate(&mut self, deadline: Option<Instant>) -> bool {
+        let saturated = self.admission_saturated();
+        if saturated && self.cm.streak() == 0 {
+            self.backpressure_delay(deadline);
+        }
+        saturated
+    }
+
+    /// The bounded admission delay itself — cold, so the uncontended
+    /// attempt path only carries the branch, not the backoff machinery.
+    #[cold]
+    #[inline(never)]
+    fn backpressure_delay(&self, deadline: Option<Instant>) {
+        ServerCounters::add(&self.stm.server_stats.backpressure_delays, 1);
+        let mut bk = Backoff::new();
+        for _ in 0..64 {
+            if bk.is_yielding() && deadline.is_some_and(|d| Instant::now() >= d) {
+                break;
+            }
+            bk.snooze();
         }
     }
 
@@ -174,6 +250,7 @@ impl<'a> ThreadHandle<'a> {
         self.ws.clear();
         self.wbf.clear();
         self.alog.clear();
+        let saturated = self.backpressure_gate(deadline);
 
         let mut tx = Txn {
             stm: self.stm,
@@ -192,6 +269,17 @@ impl<'a> ThreadHandle<'a> {
             stats: &mut self.stats,
             profile,
         };
+        // Irrevocable-mode escalation (DESIGN.md §13): once the abort
+        // streak crosses the configured threshold, try to take the global
+        // token before this attempt starts. Best-effort — on failure
+        // (another holder, deadline) the attempt simply runs revocably and
+        // retries acquisition next time. The token is held for exactly
+        // this one attempt; every exit arm below releases it.
+        let it = self.stm.starvation.irrevocable_after;
+        let want_token = it != u32::MAX && self.cm.streak() >= it;
+        if want_token {
+            let _ = A::try_acquire_irrevocable(&mut tx);
+        }
         A::pin(&mut tx);
 
         // The unwind boundary: engine begin, the user body and engine
@@ -207,7 +295,13 @@ impl<'a> ThreadHandle<'a> {
                 // (NOrec / InvalSTM) or on the request slot (RInval) —
                 // exactly the paper's "commit" bucket in Fig. 2/3.
                 let p = Probe::start(profile);
+                let lat = tx.stm.latency_histogram.then(Instant::now);
                 let r = A::commit(&mut tx);
+                if let (Some(t0), Ok(())) = (lat, &r) {
+                    tx.stm
+                        .server_stats
+                        .record_latency_ns(t0.elapsed().as_nanos() as u64);
+                }
                 p.stop(&mut tx.stats.commit);
                 r.map(|()| v)
             })
@@ -222,28 +316,73 @@ impl<'a> ThreadHandle<'a> {
                 self.cache.commit(&self.stm.heap, &mut self.alog);
                 self.stats.commits += 1;
                 p_total.stop(&mut self.stats.total_tx);
+                // Starvation bookkeeping: the commit retires the published
+                // priority and ends any irrevocable tenure. A nonzero
+                // priority implies at least one abort this transaction
+                // (self-aging and server-side inheritance both follow a
+                // refusal-abort), and only an attempt past the streak
+                // threshold can hold the token — so a first-try commit,
+                // the overwhelmingly common case, touches neither line.
+                if self.cm.streak() != 0 {
+                    let slot = self.stm.registry.slot(self.slot_idx);
+                    if slot.priority.load(Ordering::Relaxed) != 0 {
+                        slot.priority.store(0, Ordering::SeqCst);
+                    }
+                }
                 self.cm.on_commit();
+                if want_token {
+                    self.stm.release_irrevocable(self.slot_idx);
+                }
                 Ok(v)
             }
             Ok(Err(Aborted)) => {
                 let p_abort = Probe::start(profile);
                 A::cleanup_abort(&mut tx);
                 let timed_out = tx.timed_out;
+                // A token holder can still reach this arm (user abort or
+                // deadline — never a conflict); the token is tenured for
+                // one attempt only, else a holder spinning in a
+                // `user_abort` retry loop would block forever the very
+                // committer whose write it is waiting to observe.
+                if want_token {
+                    self.stm.release_irrevocable(self.slot_idx);
+                }
                 // Surrender speculative allocations; drop pending frees.
                 self.cache.abort(&mut self.alog);
                 self.stats.aborts += 1;
-                self.cm.on_abort();
+                // Priority aging (§13): publish `streak - 1` from the
+                // second consecutive abort on. A single sporadic abort —
+                // ubiquitous under any contention — publishes nothing, so
+                // it never arms the census on CommitterWins instances.
+                let expired = self.cm.on_abort_bounded(deadline, saturated);
+                let streak = self.cm.streak();
+                if streak >= 2 {
+                    let p = streak - 1;
+                    self.stm
+                        .registry
+                        .slot(self.slot_idx)
+                        .priority
+                        .fetch_max(p, Ordering::SeqCst);
+                    self.stm.note_priority(p);
+                }
+                ServerCounters::raise(
+                    &self.stm.server_stats.streak_high_water,
+                    streak as u64,
+                );
                 p_abort.stop(&mut self.stats.abort);
                 p_total.stop(&mut self.stats.total_tx);
-                Err(timed_out)
+                Err(timed_out || expired)
             }
             Err(payload) => {
                 // Repair what the panic interrupted (release a held
                 // seqlock, withdraw a posted request, deregister the
                 // slot), then account the attempt as aborted and let the
                 // panic continue — `ThreadHandle::drop` handles the rest
-                // of the unwind.
+                // of the unwind. The token must not survive the unwind
+                // either: a dead holder would gate every other commit
+                // forever.
                 A::cleanup_panic(&mut tx);
+                self.stm.release_irrevocable(self.slot_idx);
                 self.cache.abort(&mut self.alog);
                 self.stats.aborts += 1;
                 self.cm.on_abort();
@@ -261,6 +400,12 @@ impl Drop for ThreadHandle<'_> {
         // handle's write-set buffer is freed, so no server ever
         // dereferences a dangling payload pointer.
         let _ = crate::server::withdraw_request(self.stm, self.slot_idx);
+        // The withdrawal above may have *taken* a COMMITTED verdict on a
+        // token request (a grant racing the drop); and a panic can unwind
+        // a holder whose cleanup already ran. Either way the token must
+        // not outlive the slot — a dead holder would gate every commit
+        // forever. No-op unless this slot is the holder.
+        self.stm.release_irrevocable(self.slot_idx);
         // Surrender the thread's free blocks and still-maturing retirees
         // to the heap's shared pool so other threads can recycle them.
         self.stm.heap.pool_flush(&mut self.cache);

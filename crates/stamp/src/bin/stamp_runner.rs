@@ -1,14 +1,15 @@
 //! Command-line runner for the STAMP-like applications.
 //!
 //! ```sh
-//! cargo run --release -p stamp --bin stamp_runner -- <app> [algorithm] [threads]
+//! cargo run --release -p stamp --bin stamp_runner -- <app> [algorithm] [threads] [--latency]
 //! cargo run --release -p stamp --bin stamp_runner -- all rinval-v2 4
 //! ```
 //!
 //! Runs the chosen application with its default configuration, verifies
 //! the result where the app exposes a checker, and prints the wall time,
 //! throughput and abort rate — the same columns the paper's Figure 8
-//! discussion cares about.
+//! discussion cares about. `--latency` additionally enables the opt-in
+//! commit-latency histogram and prints the p50/p99 commit latency.
 
 use rinval::{AlgorithmKind, Stm};
 use stamp::App;
@@ -17,9 +18,10 @@ fn parse_app(name: &str) -> Option<App> {
     App::ALL.into_iter().find(|a| a.name() == name)
 }
 
-fn run_one(app: App, algo: AlgorithmKind, threads: usize) {
+fn run_one(app: App, algo: AlgorithmKind, threads: usize, latency: bool) {
     let stm = Stm::builder(algo)
         .heap_words(app.default_heap_words())
+        .latency_histogram(latency)
         .build();
     let (report, verdict) = app.run_small(&stm, threads);
     let status = match verdict {
@@ -49,13 +51,29 @@ fn run_one(app: App, algo: AlgorithmKind, threads: usize) {
         report.heap.recycled_words,
         report.heap.live_segments,
     );
+    if latency {
+        let st = stm.server_stats();
+        let fmt = |q: f64| {
+            st.latency_quantile_ns(q)
+                .map_or_else(|| "-".to_string(), |ns| format!("{:.1}us", ns as f64 / 1e3))
+        };
+        println!(
+            "{:>10} {:>10} commit-latency p50={} p99={}",
+            app.name(),
+            algo.name(),
+            fmt(0.5),
+            fmt(0.99),
+        );
+    }
     if verdict.is_err() {
         std::process::exit(2);
     }
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
+    let mut args: Vec<String> = std::env::args().collect();
+    let latency = args.iter().any(|a| a == "--latency");
+    args.retain(|a| a != "--latency");
     let app_arg = args.get(1).map(String::as_str).unwrap_or("all");
     // The canonical parser lives on AlgorithmKind (FromStr); its error
     // already lists AlgorithmKind::NAMES and the parameter syntax.
@@ -70,10 +88,10 @@ fn main() {
 
     if app_arg == "all" {
         for app in App::ALL {
-            run_one(app, algo, threads);
+            run_one(app, algo, threads, latency);
         }
     } else if let Some(app) = parse_app(app_arg) {
-        run_one(app, algo, threads);
+        run_one(app, algo, threads, latency);
     } else {
         eprintln!(
             "unknown app '{app_arg}'; choose from all, {}",
