@@ -32,6 +32,10 @@ fn algos() -> Vec<AlgorithmKind> {
         AlgorithmKind::InvalStm,
         AlgorithmKind::RInvalV1,
         AlgorithmKind::RInvalV2 { invalidators: 2 },
+        AlgorithmKind::RInvalMV {
+            invalidators: 2,
+            steps_ahead: 2,
+        },
     ]
 }
 
@@ -154,6 +158,7 @@ dispatch_arm!(arm_invalstm);
 dispatch_arm!(arm_rinval_v1);
 dispatch_arm!(arm_rinval_v2);
 dispatch_arm!(arm_rinval_v3);
+dispatch_arm!(arm_rinval_mv);
 
 /// The seed's per-read dispatch shape: one kind branch per access.
 #[inline(always)]
@@ -167,6 +172,7 @@ fn enum_dispatch_read(kind: AlgorithmKind, tx: &mut Txn<'_>, h: Handle) -> TxRes
         AlgorithmKind::RInvalV1 => arm_rinval_v1(tx, h),
         AlgorithmKind::RInvalV2 { .. } => arm_rinval_v2(tx, h),
         AlgorithmKind::RInvalV3 { .. } => arm_rinval_v3(tx, h),
+        AlgorithmKind::RInvalMV { .. } => arm_rinval_mv(tx, h),
     }
 }
 

@@ -1,0 +1,206 @@
+//! ro_read — the read-mostly gate for the multi-version snapshot path.
+//!
+//! A red-black-tree workload at 8 threads: 6 dedicated reader threads
+//! issue lookups through [`rinval::ThreadHandle::run_ro`] while 2 updater
+//! threads generate a continuous insert/remove stream. The readers' side
+//! is the measurement: dedicating threads keeps the (milliseconds-long,
+//! commit-server-bound) update latency out of the denominator, so the
+//! gate compares the read path itself — which is what `rinval-mv`
+//! changes — rather than a mix dominated by identical update costs.
+//!
+//! Two properties are enforced (the CI bench-smoke step runs `-- --test`,
+//! which only shrinks the tree and the measured window):
+//!
+//! 1. **Throughput**: `rinval-mv` reader throughput ≥ `rinval-v3` — the
+//!    snapshot path must actually pay for itself where it is designed to
+//!    (read-mostly traffic): no per-read signature inserts, no registry
+//!    churn per transaction, no invalidation exposure.
+//! 2. **RO aborts == 0** on `rinval-mv`: declared read-only transactions
+//!    never validate and never abort; every lookup commits on its first
+//!    attempt (ring misses included — the fallback advances the
+//!    snapshot, it does not restart).
+//!
+//! Exits non-zero if either gate fails, like the micro dispatch gate.
+
+use rinval::{AlgorithmKind, Stm};
+use stamp::rbtree_bench::{self, Config};
+use stamp::SplitMix;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+const READERS: usize = 6;
+const UPDATERS: usize = 2;
+
+struct Outcome {
+    reader_tput_s: f64,
+    ro_calls: u64,
+    ro_attempts: u64,
+    updates: u64,
+    ro_snapshot_commits: u64,
+    ring_misses: u64,
+    promotions: u64,
+}
+
+fn run_engine(kind: AlgorithmKind, cfg: &Config) -> Outcome {
+    let stm = Stm::builder(kind)
+        .heap_words(cfg.heap_words())
+        .max_threads(READERS + UPDATERS + 4)
+        .build();
+    let tree = rbtree_bench::setup(&stm, cfg);
+    let range = cfg.initial_size * 2;
+    let stop = AtomicBool::new(false);
+    let stm = &stm;
+    let tree = &tree;
+    let stop = &stop;
+
+    let started = Instant::now();
+    let (lookups, attempts, updates) = std::thread::scope(|s| {
+        let upd: Vec<_> = (0..UPDATERS)
+            .map(|t| {
+                let cfg = cfg.clone();
+                s.spawn(move || {
+                    let mut th = stm.register_thread();
+                    let mut rng = SplitMix::new(cfg.seed ^ ((t as u64 + 1) << 33));
+                    let mut n = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        let k = rng.below(range);
+                        if n.is_multiple_of(2) {
+                            th.run(|tx| tree.insert(tx, k, k));
+                        } else {
+                            th.run(|tx| tree.remove(tx, k));
+                        }
+                        n += 1;
+                    }
+                    n
+                })
+            })
+            .collect();
+        let rdr: Vec<_> = (0..READERS)
+            .map(|t| {
+                let cfg = cfg.clone();
+                s.spawn(move || {
+                    let mut th = stm.register_thread();
+                    let mut rng = SplitMix::new(cfg.seed ^ ((t as u64 + 1) << 21));
+                    let mut calls = 0u64;
+                    let mut attempts = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        let k = rng.below(range);
+                        calls += 1;
+                        th.run_ro(|tx| {
+                            attempts += 1;
+                            tree.contains(tx, k)
+                        });
+                    }
+                    (calls, attempts)
+                })
+            })
+            .collect();
+
+        std::thread::sleep(cfg.duration);
+        stop.store(true, Ordering::Relaxed);
+        let updates = upd.into_iter().map(|w| w.join().unwrap()).sum::<u64>();
+        let (calls, attempts) = rdr
+            .into_iter()
+            .map(|w| w.join().unwrap())
+            .fold((0, 0), |(a, b), (x, y)| (a + x, b + y));
+        (calls, attempts, updates)
+    });
+    let wall = started.elapsed().as_secs_f64();
+
+    tree.check_invariants(stm)
+        .unwrap_or_else(|e| panic!("{}: tree corrupted: {e}", kind.name()));
+    let st = stm.server_stats();
+    Outcome {
+        reader_tput_s: lookups as f64 / wall,
+        ro_calls: lookups,
+        ro_attempts: attempts,
+        updates,
+        ro_snapshot_commits: st.ro_snapshot_commits,
+        ring_misses: st.ring_misses,
+        promotions: st.ro_promotions,
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--test");
+    let cfg = Config {
+        initial_size: if smoke { 1024 } else { 16 * 1024 },
+        read_pct: 100, // readers are dedicated; updaters run unthrottled
+        delay_noops: 0,
+        duration: Duration::from_millis(if smoke { 250 } else { 1000 }),
+        seed: 0x5EED,
+    };
+    let v3 = AlgorithmKind::RInvalV3 {
+        invalidators: 2,
+        steps_ahead: 4,
+    };
+    let mv = AlgorithmKind::RInvalMV {
+        invalidators: 2,
+        steps_ahead: 4,
+    };
+
+    println!(
+        "ro_read gate: rbtree ({} nodes), {READERS} readers + {UPDATERS} updaters, {:?} window",
+        cfg.initial_size, cfg.duration
+    );
+    println!(
+        "{:>12} {:>14} {:>10} {:>10} {:>8} {:>12} {:>8} {:>8}",
+        "algo", "lookups/s", "ro-txs", "ro-aborts", "updates", "snap-commits", "misses", "promos"
+    );
+
+    // Best of 3 windows per engine: duration-based throughput on a shared
+    // host jitters; the gate compares each engine at its best.
+    let mut best: Vec<Outcome> = Vec::new();
+    for kind in [v3, mv] {
+        let mut b: Option<Outcome> = None;
+        for _ in 0..3 {
+            let o = run_engine(kind, &cfg);
+            if b.as_ref().is_none_or(|p| o.reader_tput_s > p.reader_tput_s) {
+                b = Some(o);
+            }
+        }
+        let o = b.unwrap();
+        println!(
+            "{:>12} {:>14.0} {:>10} {:>10} {:>8} {:>12} {:>8} {:>8}",
+            kind.name(),
+            o.reader_tput_s,
+            o.ro_calls,
+            o.ro_attempts - o.ro_calls,
+            o.updates,
+            o.ro_snapshot_commits,
+            o.ring_misses,
+            o.promotions
+        );
+        best.push(o);
+    }
+    let (v3_out, mv_out) = (&best[0], &best[1]);
+
+    let mut ok = true;
+    let ro_aborts = mv_out.ro_attempts - mv_out.ro_calls;
+    if ro_aborts != 0 {
+        eprintln!("FAIL: rinval-mv: {ro_aborts} read-only aborts (must be 0)");
+        ok = false;
+    }
+    if mv_out.ro_snapshot_commits < mv_out.ro_calls {
+        eprintln!(
+            "FAIL: rinval-mv: only {} of {} RO transactions took the snapshot path",
+            mv_out.ro_snapshot_commits, mv_out.ro_calls
+        );
+        ok = false;
+    }
+    if mv_out.reader_tput_s < v3_out.reader_tput_s {
+        eprintln!(
+            "FAIL: rinval-mv read-mostly throughput ({:.0} lookups/s) below rinval-v3 \
+             ({:.0} lookups/s)",
+            mv_out.reader_tput_s, v3_out.reader_tput_s
+        );
+        ok = false;
+    }
+    if !ok {
+        std::process::exit(1);
+    }
+    println!(
+        "gate ok: mv/v3 = {:.2}x, zero RO aborts",
+        mv_out.reader_tput_s / v3_out.reader_tput_s
+    );
+}

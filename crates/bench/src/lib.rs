@@ -28,13 +28,16 @@ pub fn sim_lineup() -> [SimAlgorithm; 4] {
     SimAlgorithm::paper_lineup()
 }
 
-/// The same line-up as real-implementation kinds.
+/// The same line-up as real-implementation kinds, plus the multi-version
+/// engine (`rinval-mv`), which has no simulator counterpart but anchors
+/// the read-mostly story in the figure 7/8 cross-check tables.
 ///
 /// Overridable via the `RINVAL_LINEUP` environment variable — a
 /// comma-separated list of [`AlgorithmKind::NAMES`] entries (with the
-/// optional `rinval-v2:<n>` / `rinval-v3:<n>:<k>` parameters), e.g.
-/// `RINVAL_LINEUP=tl2,norec,rinval-v2:8` — so the real cross-check layers
-/// can be pointed at any engine set without editing the harnesses.
+/// optional `rinval-v2:<n>` / `rinval-v3:<n>:<k>` / `rinval-mv:<n>:<k>`
+/// parameters), e.g. `RINVAL_LINEUP=tl2,norec,rinval-mv:8:4` — so the
+/// real cross-check layers can be pointed at any engine set without
+/// editing the harnesses.
 pub fn real_lineup() -> Vec<AlgorithmKind> {
     match std::env::var("RINVAL_LINEUP") {
         Ok(spec) if !spec.trim().is_empty() => spec
@@ -45,7 +48,14 @@ pub fn real_lineup() -> Vec<AlgorithmKind> {
                     .unwrap_or_else(|e| panic!("RINVAL_LINEUP: {e}"))
             })
             .collect(),
-        _ => AlgorithmKind::paper_lineup().to_vec(),
+        _ => {
+            let mut v = AlgorithmKind::paper_lineup().to_vec();
+            v.push(AlgorithmKind::RInvalMV {
+                invalidators: 4,
+                steps_ahead: 4,
+            });
+            v
+        }
     }
 }
 

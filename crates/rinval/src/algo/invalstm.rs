@@ -251,9 +251,15 @@ pub(crate) fn commit(tx: &mut Txn<'_>) -> TxResult<()> {
     if doomed_n != 0 {
         ServerCounters::add(&st.txs_doomed, doomed_n);
     }
-    // Algorithm 1, line 20: publish the write-set.
+    // Algorithm 1, line 20: publish the write-set. Versioned: when the MV
+    // ring is enabled (degraded RInvalMV instances fall back to this
+    // engine), each store also retires the pre-image into the word's ring
+    // stamped with this commit's release timestamp, so concurrent
+    // snapshot readers keep resolving.
     for e in tx.ws.entries() {
-        tx.stm.heap.store(Handle::from_addr(e.addr), e.val);
+        tx.stm
+            .heap
+            .store_versioned(Handle::from_addr(e.addr), e.val, t + 2);
     }
     // Algorithm 1, line 21: release the sequence lock.
     ts.store(t + 2, Ordering::SeqCst);

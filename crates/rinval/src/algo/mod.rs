@@ -26,6 +26,7 @@
 
 pub(crate) mod coarse;
 pub(crate) mod invalstm;
+pub(crate) mod mv;
 pub(crate) mod norec;
 pub(crate) mod rinval;
 pub(crate) mod tl2;
@@ -309,6 +310,10 @@ macro_rules! with_algorithm {
             }
             $crate::AlgorithmKind::RInvalV3 { .. } => {
                 type $A = $crate::algo::rinval::RInvalV3;
+                $e
+            }
+            $crate::AlgorithmKind::RInvalMV { .. } => {
+                type $A = $crate::algo::mv::RInvalMV;
                 $e
             }
         }

@@ -1,0 +1,268 @@
+//! Multi-version RInval: wait-free read-only transactions over the
+//! per-word version ring (see `heap::VERSION_RING` and DESIGN.md §14).
+//!
+//! A transaction starts as a *snapshot reader*: at begin it captures the
+//! last even value of the global timestamp and thereafter resolves every
+//! read from the version ring — the newest version stamped ≤ the snapshot.
+//! It does not publish a read signature, does not enter the `live` summary
+//! map (so commit- and invalidation-server scans police writers only), and
+//! its commit is a no-op: the snapshot was consistent by construction, so
+//! a read-only transaction **never validates and never aborts**.
+//!
+//! The snapshot is acquired wait-free — no even-parity spin. Reading the
+//! timestamp mid-commit (odd, say `t+1`) rounds *down* to `t`, which is
+//! safe because a commit's versions are published strictly before its
+//! release store of `t+2`: every version the snapshot may need is already
+//! visible, and versions newer than the snapshot are simply skipped by the
+//! ring walk.
+//!
+//! Two escape hatches keep the path total:
+//!
+//! * **Ring miss** — the word was overwritten more than `VERSION_RING`
+//!   times since the snapshot. The reader performs one bounded
+//!   revalidation: under a stable even timestamp window it re-reads its
+//!   value read-set; if nothing changed the snapshot *advances* to that
+//!   window (and the missed word is read inside it), otherwise the attempt
+//!   restarts. Only a genuinely changed value can abort a reader, and only
+//!   after a miss.
+//! * **Promotion** — the first [`Algorithm::write`] upgrades the
+//!   transaction in place to the full V3 protocol: it registers in the
+//!   `live` map, republishes its reads into the slot's signature, and
+//!   value-validates them once under a stable window. From then on reads
+//!   take the invalidation-checked path and commit goes through the
+//!   commit-server, exactly like [`super::rinval::RInvalV3`].
+
+use super::{invalstm, registry_begin, registry_end, sealed, Algorithm};
+use crate::heap::{Handle, SnapshotRead};
+use crate::server::withdraw_request;
+use crate::stats::ServerCounters;
+use crate::sync::Backoff;
+use crate::txn::Txn;
+use crate::{Aborted, TxResult};
+use std::sync::atomic::{fence, Ordering};
+
+/// Engine for [`crate::AlgorithmKind::RInvalMV`].
+pub(crate) struct RInvalMV;
+
+impl sealed::Sealed for RInvalMV {}
+
+impl Algorithm for RInvalMV {
+    #[inline]
+    fn pin(tx: &mut Txn<'_>) {
+        // Era-only pin: snapshot readers must hold the reclamation horizon
+        // (their ring walks dereference blocks other threads may free) but
+        // stay out of the `live` map. The *fenced* pin, for the same
+        // reason as TL2: snapshot reads never revalidate, so the horizon
+        // scan must never miss the pin.
+        tx.stm
+            .registry
+            .pin_era_fenced(tx.slot_idx, tx.cache.era_cache);
+    }
+
+    #[inline]
+    fn begin(tx: &mut Txn<'_>) -> TxResult<()> {
+        // This engine only runs on instances built with the MV kind, and
+        // those enable the ring at construction (never on degraded
+        // fallbacks, which re-resolve to InvalSTM).
+        debug_assert!(tx.stm.heap.versions_enabled());
+        // Wait-free snapshot acquisition: round an odd (commit-in-flight)
+        // timestamp down instead of spinning it out.
+        tx.snapshot = tx.stm.timestamp.load(Ordering::SeqCst) & !1;
+        Ok(())
+    }
+
+    #[inline]
+    fn read(tx: &mut Txn<'_>, h: Handle) -> TxResult<u64> {
+        if tx.promoted {
+            return invalstm::read_impl::<true>(tx, h);
+        }
+        // Fast path — no ring walk. If the global timestamp still equals
+        // the snapshot, no commit has *released* since the snapshot was
+        // taken, so the main value is the word's value at the snapshot:
+        //
+        // * Not newer: a commit releasing `snap + 2` stores `snap + 1`
+        //   before any write-back, and each write-back's release fence
+        //   pairs with our acquire load — had we observed such a
+        //   write-back, the timestamp load below (ordered after the
+        //   acquire) would observe ≥ `snap + 1` and the check would fail.
+        // * Not older: `begin`'s SeqCst timestamp load returning ≥ `snap`
+        //   synchronizes with the release of `snap`, so every write-back
+        //   released at or before `snap` is visible to all of this
+        //   transaction's loads.
+        //
+        // The timestamp line is read-shared across readers (writes touch
+        // it only per commit), so in read-mostly traffic this check stays
+        // cache-resident and the whole read is two loads.
+        let main = tx.stm.heap.load_acquire(h);
+        if tx.stm.timestamp.load(Ordering::Relaxed) == tx.snapshot {
+            tx.rs.push(h, main);
+            return Ok(main);
+        }
+        match tx.stm.heap.snapshot_read(h, tx.snapshot) {
+            SnapshotRead::Current(v) => {
+                tx.rs.push(h, v);
+                Ok(v)
+            }
+            SnapshotRead::Old(v) => {
+                if tx.declared_ro {
+                    // A declared reader can never promote, so reading
+                    // into the past is always safe — this is the wait-free
+                    // path the engine exists for.
+                    tx.rs.push(h, v);
+                    Ok(v)
+                } else {
+                    // A transaction that may still write must not anchor
+                    // itself to a superseded version: a read-set with old
+                    // values in it makes the first-write promotion's
+                    // revalidation fail *deterministically*, and at scale
+                    // the resulting abort storm feeds on itself (aborts →
+                    // backpressure → longer attempts → staler snapshots).
+                    // Advance to the present instead, NOrec-style.
+                    refresh_to_present(tx, h)
+                }
+            }
+            SnapshotRead::Miss => ring_miss_fallback(tx, h),
+        }
+    }
+
+    #[inline]
+    fn write(tx: &mut Txn<'_>, h: Handle, v: u64) -> TxResult<()> {
+        if !tx.promoted {
+            promote(tx)?;
+        }
+        if tx.ws.insert(h, v) {
+            tx.wbf.insert(h.addr());
+        }
+        Ok(())
+    }
+
+    #[inline]
+    fn commit(tx: &mut Txn<'_>) -> TxResult<()> {
+        if !tx.promoted {
+            // Pure snapshot transaction: nothing to validate, nothing to
+            // publish, nobody to ask.
+            ServerCounters::add(&tx.stm.server_stats.ro_snapshot_commits, 1);
+            return Ok(());
+        }
+        super::rinval::client_commit(tx)
+    }
+
+    #[inline]
+    fn cleanup_commit(tx: &mut Txn<'_>) {
+        if tx.promoted {
+            registry_end(tx);
+        } else {
+            tx.stm.registry.unpin_era(tx.slot_idx);
+        }
+    }
+
+    #[inline]
+    fn cleanup_panic(tx: &mut Txn<'_>) {
+        if tx.promoted {
+            // Same hazard as the plain RInval engines: a panic with a
+            // commit request posted must not leave the server a dangling
+            // write-set pointer.
+            let _ = withdraw_request(tx.stm, tx.slot_idx);
+            registry_end(tx);
+        } else {
+            tx.stm.registry.unpin_era(tx.slot_idx);
+        }
+    }
+
+    #[inline]
+    fn try_acquire_irrevocable(tx: &mut Txn<'_>) -> bool {
+        super::rinval::remote_grant_token(tx)
+    }
+}
+
+/// Re-reads the transaction's value read-set under a stable even-timestamp
+/// window (no commit's write-back can be in flight while the timestamp
+/// holds still at an even value), optionally reading `extra` inside the
+/// same window. Success returns `(window_ts, extra_value)`; a changed
+/// value aborts. The window spin is the only wait and retries purely on
+/// instability, so this performs exactly one validation pass over stable
+/// state — the "bounded single revalidation-or-restart" fallback.
+fn stable_revalidate(tx: &mut Txn<'_>, extra: Option<Handle>) -> TxResult<(u64, u64)> {
+    let stm = tx.stm;
+    let ts = &stm.timestamp;
+    let mut bk = Backoff::new();
+    loop {
+        if bk.is_yielding() && tx.deadline_expired() {
+            return Err(Aborted);
+        }
+        let t = ts.load(Ordering::SeqCst);
+        if t & 1 == 1 {
+            bk.snooze();
+            continue;
+        }
+        let extra_v = extra.map_or(0, |h| stm.heap.load(h));
+        let mut ok = true;
+        for &(h, v) in tx.rs.entries() {
+            if stm.heap.load(h) != v {
+                ok = false;
+                break;
+            }
+        }
+        fence(Ordering::SeqCst);
+        if ts.load(Ordering::SeqCst) != t {
+            bk.snooze();
+            continue;
+        }
+        if !ok {
+            return Err(Aborted);
+        }
+        return Ok((t, extra_v));
+    }
+}
+
+/// The ring fell off the snapshot for `h`: advance the snapshot to a
+/// present stable window instead of aborting, provided every value read so
+/// far is unchanged there (NOrec-style value validation). The missed word
+/// is read inside the same window, so the whole read-set is consistent at
+/// the new snapshot.
+#[cold]
+fn ring_miss_fallback(tx: &mut Txn<'_>, h: Handle) -> TxResult<u64> {
+    ServerCounters::add(&tx.stm.server_stats.ring_misses, 1);
+    refresh_to_present(tx, h)
+}
+
+/// Advances the snapshot to a present stable window (read-set values
+/// permitting) and reads `h` inside it. Shared by the ring-miss fallback
+/// and the maybe-writer path out of an [`SnapshotRead::Old`] read.
+fn refresh_to_present(tx: &mut Txn<'_>, h: Handle) -> TxResult<u64> {
+    let (t, v) = stable_revalidate(tx, Some(h))?;
+    tx.snapshot = t;
+    tx.rs.push(h, v);
+    Ok(v)
+}
+
+/// First-write upgrade to the V3 protocol, in place: register in the
+/// `live` map, republish the reads into the slot's signature (before the
+/// fence, so a committer admitted after the fence either sees the
+/// signature and invalidates us or wrote before our validation window —
+/// the same two-sided race argument as the read path's bloom publish),
+/// then value-validate the read-set once. On success the transaction
+/// continues at the validated window under the ordinary RInval rules.
+fn promote(tx: &mut Txn<'_>) -> TxResult<()> {
+    debug_assert!(!tx.promoted);
+    registry_begin(tx);
+    let slot = tx.stm.registry.slot(tx.slot_idx);
+    for &(h, _) in tx.rs.entries() {
+        slot.read_bf.owner_insert(h.addr());
+    }
+    fence(Ordering::SeqCst);
+    match stable_revalidate(tx, None) {
+        Ok((t, _)) => {
+            tx.snapshot = t;
+            tx.promoted = true;
+            ServerCounters::add(&tx.stm.server_stats.ro_promotions, 1);
+            Ok(())
+        }
+        Err(Aborted) => {
+            // The attempt aborts while registered; `cleanup_abort` must
+            // deregister, so flip the mode before unwinding the attempt.
+            tx.promoted = true;
+            Err(Aborted)
+        }
+    }
+}

@@ -52,7 +52,7 @@
 use crate::logs::AllocLog;
 use std::collections::VecDeque;
 use std::fmt;
-use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{fence, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// Index of a word in the transactional heap.
@@ -127,6 +127,59 @@ const MAX_SEGMENTS: usize = 4096;
 /// Largest word index a `u32` handle can encode.
 const HARD_CAP_WORDS: usize = u32::MAX as usize - 1;
 
+/// Depth of the per-word version ring kept by multi-version engines: each
+/// heap word retains this many recent `(timestamp, value)` pairs. Deep
+/// enough that a snapshot reader only misses when a word is overwritten
+/// this many times *during* the reader's lifetime; small enough that the
+/// sidecar arena stays a bounded constant factor of the heap.
+pub const VERSION_RING: usize = 8;
+
+/// `ts` sentinel: the entry holds no version.
+const VERSION_EMPTY: u64 = 0;
+/// `ts` sentinel: the entry is mid-overwrite (the write-back agent is the
+/// only writer of a given word's ring, so BUSY is a seqlock for readers,
+/// never a lock writers contend on).
+const VERSION_BUSY: u64 = u64::MAX;
+/// Stamp of the synthetic pre-image seeded on a word's *first* versioned
+/// write, preserving the value older snapshots must still see. Real
+/// version stamps are the even seqlock release values (≥ 2), so 1 is
+/// below all of them and above `VERSION_EMPTY`.
+const VERSION_SEED_TS: u64 = 1;
+
+/// One slot of a word's version ring.
+struct VersionEntry {
+    ts: AtomicU64,
+    val: AtomicU64,
+}
+
+/// Sidecar arena of per-word version rings, segment-parallel to the heap
+/// table (segment `s` of the heap maps to segment `s` here, holding
+/// `seg_words * VERSION_RING` entries). Materialized lazily: only segments
+/// that ever saw a versioned write pay the ring's memory cost.
+struct VersionArena {
+    table: Box<[AtomicPtr<VersionEntry>]>,
+    /// Versions appended by committed write-backs (monotone).
+    appends: AtomicU64,
+    /// Ring entries currently holding a version (occupancy telemetry).
+    live_entries: AtomicU64,
+}
+
+/// Result of a multi-version snapshot read (see [`Heap::snapshot_read`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum SnapshotRead {
+    /// The value the word held at the snapshot timestamp, and no newer
+    /// committed version was observed: this is also the word's present
+    /// value.
+    Current(u64),
+    /// The value the word held at the snapshot timestamp, but the word
+    /// has been committed since — a transaction that may still need to
+    /// upgrade to the write protocol is reading into its past.
+    Old(u64),
+    /// The ring no longer reaches back to the snapshot (overwritten);
+    /// the caller must fall back to revalidation or restart.
+    Miss,
+}
+
 /// Snapshot of the heap's allocation telemetry (see [`crate::Stm::heap_stats`]).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct HeapStats {
@@ -145,6 +198,12 @@ pub struct HeapStats {
     pub capacity_words: usize,
     /// Words of backing memory reserved (`live_segments · segment_words`).
     pub reserved_words: usize,
+    /// Depth of the per-word version ring (0 = multi-versioning disabled).
+    pub version_ring_depth: usize,
+    /// Version-ring entries currently occupied (snapshot of occupancy).
+    pub version_entries: u64,
+    /// Versions appended by committed write-backs so far (monotone).
+    pub version_appends: u64,
 }
 
 impl HeapStats {
@@ -189,6 +248,9 @@ pub struct Heap {
     /// Blocks surrendered by deregistered threads, picked up by any thread
     /// whose local cache misses. Matured entries carry stamp 0.
     pool: Mutex<Vec<Retired>>,
+    /// Per-word version rings; `Some` only for multi-version engines
+    /// (enabled once at construction, before the heap is shared).
+    versions: Option<VersionArena>,
 }
 
 impl Heap {
@@ -249,7 +311,27 @@ impl Heap {
             freed_words: AtomicU64::new(0),
             recycled_words: AtomicU64::new(0),
             pool: Mutex::new(Vec::new()),
+            versions: None,
         }
+    }
+
+    /// Attaches the per-word version-ring sidecar. Must be called before
+    /// the heap is shared (the builder does, for multi-version kinds);
+    /// taking `&mut self` enforces exclusivity.
+    pub fn enable_versions(&mut self) {
+        let mut table = Vec::with_capacity(self.table.len());
+        table.resize_with(self.table.len(), || AtomicPtr::new(std::ptr::null_mut()));
+        self.versions = Some(VersionArena {
+            table: table.into_boxed_slice(),
+            appends: AtomicU64::new(0),
+            live_entries: AtomicU64::new(0),
+        });
+    }
+
+    /// True if the version-ring sidecar is attached.
+    #[inline]
+    pub(crate) fn versions_enabled(&self) -> bool {
+        self.versions.is_some()
     }
 
     /// Total usable words (the growth ceiling, not currently-reserved memory).
@@ -273,6 +355,19 @@ impl Heap {
             segment_words: self.seg_words,
             capacity_words: self.max_words,
             reserved_words: live_segments * self.seg_words,
+            version_ring_depth: if self.versions.is_some() {
+                VERSION_RING
+            } else {
+                0
+            },
+            version_entries: self
+                .versions
+                .as_ref()
+                .map_or(0, |v| v.live_entries.load(Ordering::Relaxed)),
+            version_appends: self
+                .versions
+                .as_ref()
+                .map_or(0, |v| v.appends.load(Ordering::Relaxed)),
         }
     }
 
@@ -375,6 +470,17 @@ impl Heap {
         self.word(h.0 as usize).load(Ordering::Relaxed)
     }
 
+    /// Acquire load of a word. Pairs with the release fence every
+    /// versioned write-back issues before its main store: a reader that
+    /// observes the stored value also observes everything the committer
+    /// published before it (its ring appends, and the server's odd
+    /// timestamp store). The snapshot engine's fast path depends on this.
+    #[inline]
+    pub(crate) fn load_acquire(&self, h: Handle) -> u64 {
+        debug_assert!(!h.is_null(), "load through null handle");
+        self.word(h.0 as usize).load(Ordering::Acquire)
+    }
+
     /// Relaxed store of a word (commit write-back, or initialization of
     /// still-private freshly allocated records).
     #[inline]
@@ -406,10 +512,227 @@ impl Heap {
     }
 
     /// Zeroes `n` words starting at `addr` (recycled-block handout; fresh
-    /// segments are born zeroed, preserving the `calloc` contract).
+    /// segments are born zeroed, preserving the `calloc` contract). With
+    /// versions enabled the words' rings are cleared too: the block starts
+    /// a new identity, and the reclamation horizon guarantees no snapshot
+    /// reader whose begin predates the free can still reach these words.
     fn zero_range(&self, addr: u32, n: usize) {
+        if let Some(va) = &self.versions {
+            for i in 0..n {
+                self.version_clear(va, addr as usize + i);
+            }
+        }
         for i in 0..n {
             self.word(addr as usize + i).store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// The `VERSION_RING` entries of word `idx`, or `None` if the covering
+    /// version segment was never materialized (no versioned write ever hit
+    /// this segment — every entry is conceptually `VERSION_EMPTY`).
+    #[inline]
+    fn version_ring(&self, va: &VersionArena, idx: usize) -> Option<&[VersionEntry]> {
+        let seg = idx >> self.seg_shift;
+        // Acquire pairs with the CAS publish below, making the
+        // zero-initialized entries visible.
+        let ptr = va.table[seg].load(Ordering::Acquire);
+        if ptr.is_null() {
+            return None;
+        }
+        let off = (idx & (self.seg_words - 1)) * VERSION_RING;
+        Some(unsafe { std::slice::from_raw_parts(ptr.add(off), VERSION_RING) })
+    }
+
+    /// Like [`Heap::version_ring`], but materializes the segment (CAS
+    /// publish, mirroring `ensure_segments`) — write-back side only.
+    fn version_ring_materialize(&self, va: &VersionArena, idx: usize) -> &[VersionEntry] {
+        let seg = idx >> self.seg_shift;
+        if va.table[seg].load(Ordering::Acquire).is_null() {
+            let n = self.seg_words * VERSION_RING;
+            let mut v = Vec::with_capacity(n);
+            v.resize_with(n, || VersionEntry {
+                ts: AtomicU64::new(VERSION_EMPTY),
+                val: AtomicU64::new(0),
+            });
+            let raw = Box::into_raw(v.into_boxed_slice()) as *mut VersionEntry;
+            if va.table[seg]
+                .compare_exchange(
+                    std::ptr::null_mut(),
+                    raw,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
+                .is_err()
+            {
+                // Another agent published first; drop our copy.
+                unsafe {
+                    drop(Box::from_raw(std::ptr::slice_from_raw_parts_mut(raw, n)));
+                }
+            }
+        }
+        self.version_ring(va, idx).expect("just materialized")
+    }
+
+    /// Appends `(ts, v)` to word `idx`'s ring, overwriting the oldest
+    /// entry. On the word's first versioned write the current (pre-image)
+    /// value is seeded first under [`VERSION_SEED_TS`], so snapshots older
+    /// than this commit still resolve.
+    ///
+    /// Appends to one word are never concurrent: every write-back path
+    /// (commit server, degraded seqlock committer, crash recovery) runs
+    /// under exclusive ownership of the odd timestamp phase. Each entry is
+    /// still a seqlock against concurrent *readers*: `ts` passes through
+    /// `VERSION_BUSY` around the value store, and real stamps are strictly
+    /// monotone per word, so a reader observing the same stamp twice has
+    /// read the matching value.
+    fn version_append(&self, va: &VersionArena, idx: usize, v: u64, ts: u64) {
+        let ring = self.version_ring_materialize(va, idx);
+        let mut victim = 0;
+        let mut victim_ts = u64::MAX;
+        let mut empty = 0u64;
+        for (i, e) in ring.iter().enumerate() {
+            let t = e.ts.load(Ordering::Relaxed);
+            if t == VERSION_EMPTY {
+                empty += 1;
+            }
+            if t < victim_ts {
+                victim = i;
+                victim_ts = t;
+            }
+        }
+        if empty == VERSION_RING as u64 {
+            // First versioned write: preserve the pre-image for snapshots
+            // that began before this commit.
+            let pre = self.word(idx).load(Ordering::Relaxed);
+            ring[0].val.store(pre, Ordering::SeqCst);
+            ring[0].ts.store(VERSION_SEED_TS, Ordering::SeqCst);
+            victim = 1;
+            victim_ts = VERSION_EMPTY;
+            va.live_entries.fetch_add(1, Ordering::Relaxed);
+        }
+        let e = &ring[victim];
+        e.ts.store(VERSION_BUSY, Ordering::SeqCst);
+        e.val.store(v, Ordering::SeqCst);
+        e.ts.store(ts, Ordering::SeqCst);
+        if victim_ts == VERSION_EMPTY {
+            va.live_entries.fetch_add(1, Ordering::Relaxed);
+        }
+        va.appends.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Commit write-back of `v` into `h` stamped with the committing
+    /// transaction's release timestamp: appends to the version ring (when
+    /// enabled), then stores the word. The fence orders the ring append
+    /// before the main store — a release fence followed by the store, so a
+    /// snapshot reader whose *acquire* load of the word observes the new
+    /// main value is guaranteed to also observe the ring entries (pairs
+    /// with the acquire load in [`Heap::snapshot_read`]; the reader pays
+    /// no fence).
+    #[inline]
+    pub(crate) fn store_versioned(&self, h: Handle, v: u64, release_ts: u64) {
+        if let Some(va) = &self.versions {
+            self.version_append(va, h.0 as usize, v, release_ts);
+            fence(Ordering::SeqCst);
+        }
+        self.store(h, v);
+    }
+
+    /// Bounds-checking variant of [`Heap::store_versioned`] for server
+    /// threads acting on untrusted request contents.
+    #[inline]
+    pub(crate) fn store_versioned_checked(&self, addr: u32, v: u64, release_ts: u64) -> bool {
+        if let Some(va) = &self.versions {
+            if addr == 0 || addr as usize > self.max_words {
+                return false;
+            }
+            self.version_append(va, addr as usize, v, release_ts);
+            fence(Ordering::SeqCst);
+        }
+        self.store_checked(addr, v)
+    }
+
+    /// Reads the value word `h` held at snapshot timestamp `snap` (an even
+    /// seqlock value), walking the version ring for the newest version
+    /// with stamp ≤ `snap`.
+    ///
+    /// Visibility rule: a version stamped `t ≤ snap` was fully published
+    /// (SeqCst) before its commit's release store of `t`, and `snap` was
+    /// read from the timestamp at or after `t`, so the reader cannot miss
+    /// it unless it was later overwritten. The ring holds the newest
+    /// `VERSION_RING` versions (overwrite-oldest, stamps strictly monotone
+    /// per word), so the largest stable stamp ≤ `snap` *is* the word's
+    /// value at `snap`. An entry mid-overwrite is by construction the
+    /// oldest, so it can only matter when no stable candidate exists — and
+    /// then the conservative answer is [`SnapshotRead::Miss`].
+    ///
+    /// A fully empty ring means the word was never written by a versioned
+    /// commit: the main value has been constant since the word became
+    /// reachable, and the acquire-load/release-fence pair with
+    /// [`Heap::store_versioned`] rules out "main store visible, append
+    /// not". The acquire load keeps the ring scan ordered after it at no
+    /// per-read fence cost — this runs on the engine's hottest path.
+    pub(crate) fn snapshot_read(&self, h: Handle, snap: u64) -> SnapshotRead {
+        debug_assert!(!h.is_null(), "snapshot_read through null handle");
+        let va = self
+            .versions
+            .as_ref()
+            .expect("snapshot_read on a heap without versions");
+        let main = self.word(h.0 as usize).load(Ordering::Acquire);
+        let Some(ring) = self.version_ring(va, h.0 as usize) else {
+            return SnapshotRead::Current(main);
+        };
+        let mut best: Option<u64> = None;
+        let mut best_ts = 0u64;
+        let mut nonempty = false;
+        let mut newer = false;
+        for e in ring {
+            let t1 = e.ts.load(Ordering::SeqCst);
+            if t1 == VERSION_EMPTY {
+                continue;
+            }
+            nonempty = true;
+            if t1 == VERSION_BUSY || t1 > snap {
+                // BUSY is an append in flight, whose stamp (once stored)
+                // exceeds every stable one: conservatively "newer".
+                newer = true;
+                continue;
+            }
+            let v = e.val.load(Ordering::SeqCst);
+            let t2 = e.ts.load(Ordering::SeqCst);
+            if t2 != t1 {
+                // Torn: overwrite began mid-read. Still "nonempty" (and
+                // "newer" — the incoming stamp is the word's largest), so
+                // a candidate-less scan reports Miss, never a stale main.
+                newer = true;
+                continue;
+            }
+            if t1 >= best_ts {
+                best_ts = t1;
+                best = Some(v);
+            }
+        }
+        match best {
+            Some(v) if newer => SnapshotRead::Old(v),
+            Some(v) => SnapshotRead::Current(v),
+            None if nonempty => SnapshotRead::Miss,
+            None => SnapshotRead::Current(main),
+        }
+    }
+
+    /// Empties word `idx`'s ring (recycled-block handout).
+    fn version_clear(&self, va: &VersionArena, idx: usize) {
+        let Some(ring) = self.version_ring(va, idx) else {
+            return;
+        };
+        let mut cleared = 0u64;
+        for e in ring {
+            if e.ts.load(Ordering::Relaxed) != VERSION_EMPTY {
+                e.ts.store(VERSION_EMPTY, Ordering::SeqCst);
+                cleared += 1;
+            }
+        }
+        if cleared > 0 {
+            va.live_entries.fetch_sub(cleared, Ordering::Relaxed);
         }
     }
 
@@ -465,6 +788,20 @@ impl Drop for Heap {
                         p,
                         self.seg_words,
                     )));
+                }
+            }
+        }
+        // Version segments are all owned (no base aliasing).
+        if let Some(va) = &mut self.versions {
+            for slot in va.table.iter_mut() {
+                let p = *slot.get_mut();
+                if !p.is_null() {
+                    unsafe {
+                        drop(Box::from_raw(std::ptr::slice_from_raw_parts_mut(
+                            p,
+                            self.seg_words * VERSION_RING,
+                        )));
+                    }
                 }
             }
         }
@@ -843,6 +1180,130 @@ mod tests {
         let mut cache2 = HeapCache::new_at(0);
         let b = cache2.alloc(&heap, || u64::MAX, 3).unwrap();
         assert_eq!(b, a, "pooled block must be reusable by another thread");
+    }
+
+    #[test]
+    fn version_stats_zero_when_disabled() {
+        let heap = Heap::new(64);
+        assert!(!heap.versions_enabled());
+        let st = heap.stats();
+        assert_eq!(st.version_ring_depth, 0);
+        assert_eq!(st.version_entries, 0);
+        assert_eq!(st.version_appends, 0);
+    }
+
+    #[test]
+    fn version_seed_preserves_preimage() {
+        let mut heap = Heap::new(64);
+        heap.enable_versions();
+        let h = heap.alloc(1).unwrap();
+        heap.store(h, 5); // private init, unversioned
+        heap.store_versioned(h, 10, 4); // first versioned commit at ts 4
+        // Snapshots before the commit see the seeded pre-image, flagged
+        // Old because the ts-4 commit supersedes it…
+        assert_eq!(heap.snapshot_read(h, 2), SnapshotRead::Old(5));
+        // …snapshots at or after it see the new version, which is also
+        // the word's present value.
+        assert_eq!(heap.snapshot_read(h, 4), SnapshotRead::Current(10));
+        assert_eq!(heap.snapshot_read(h, 6), SnapshotRead::Current(10));
+        let st = heap.stats();
+        assert_eq!(st.version_ring_depth, VERSION_RING);
+        assert_eq!(st.version_entries, 2, "seed + one version");
+        assert_eq!(st.version_appends, 1);
+    }
+
+    #[test]
+    fn version_ring_overwrite_reports_miss_for_old_snapshots() {
+        let mut heap = Heap::new(64);
+        heap.enable_versions();
+        let h = heap.alloc(1).unwrap();
+        // VERSION_RING + 4 commits at even stamps 4, 6, 8, …
+        let writes = VERSION_RING as u64 + 4;
+        for i in 0..writes {
+            heap.store_versioned(h, 100 + i, 4 + 2 * i);
+        }
+        // The newest VERSION_RING versions resolve exactly…
+        let last_ts = 4 + 2 * (writes - 1);
+        for k in 0..VERSION_RING as u64 {
+            let ts = last_ts - 2 * k;
+            let v = 100 + (ts - 4) / 2;
+            // The newest version is Current; everything behind it is Old.
+            let want = if ts == last_ts {
+                SnapshotRead::Current(v)
+            } else {
+                SnapshotRead::Old(v)
+            };
+            assert_eq!(heap.snapshot_read(h, ts), want, "snapshot {ts}");
+            // An in-between (odd-gap) snapshot sees the older version.
+            let want_odd = if ts + 1 > last_ts {
+                SnapshotRead::Current(v)
+            } else {
+                SnapshotRead::Old(v)
+            };
+            assert_eq!(heap.snapshot_read(h, ts + 1), want_odd);
+        }
+        // …anything older fell off the ring.
+        assert_eq!(
+            heap.snapshot_read(h, last_ts - 2 * VERSION_RING as u64),
+            SnapshotRead::Miss
+        );
+        assert_eq!(heap.snapshot_read(h, 2), SnapshotRead::Miss);
+        let st = heap.stats();
+        assert_eq!(st.version_entries, VERSION_RING as u64, "ring stays full");
+        assert_eq!(st.version_appends, writes);
+    }
+
+    #[test]
+    fn snapshot_read_of_unversioned_word_returns_main_value() {
+        let mut heap = Heap::new(64);
+        heap.enable_versions();
+        let a = heap.alloc(1).unwrap();
+        let b = heap.alloc(1).unwrap();
+        heap.store(a, 77);
+        // No versioned write anywhere: no segment materialized.
+        assert_eq!(heap.snapshot_read(a, 2), SnapshotRead::Current(77));
+        // A neighbor's versioned write materializes the segment; `a`'s own
+        // ring is still empty and must still resolve to the main value.
+        heap.store_versioned(b, 9, 4);
+        assert_eq!(heap.snapshot_read(a, 2), SnapshotRead::Current(77));
+    }
+
+    #[test]
+    fn recycled_block_sheds_its_versions() {
+        let mut heap = Heap::new(64);
+        heap.enable_versions();
+        let mut cache = HeapCache::new_at(0);
+        let mut log = AllocLog::default();
+        let a = cache.alloc(&heap, || u64::MAX, 2).unwrap();
+        log.allocs.push((a.addr(), 2));
+        cache.commit(&heap, &mut log);
+        heap.store_versioned(a, 11, 4);
+        heap.store_versioned(a.field(1), 12, 6);
+        assert_eq!(heap.stats().version_entries, 4, "two seeds + two versions");
+
+        log.frees.push((a.addr(), 2));
+        cache.commit(&heap, &mut log);
+        let b = cache.alloc(&heap, || u64::MAX, 2).unwrap();
+        assert_eq!(b, a, "matured block must be recycled");
+        // The old identity's versions are gone: every snapshot resolves to
+        // the zeroed main words.
+        assert_eq!(heap.stats().version_entries, 0);
+        for snap in [0, 2, 4, 6, 8] {
+            assert_eq!(heap.snapshot_read(b, snap), SnapshotRead::Current(0));
+            assert_eq!(heap.snapshot_read(b.field(1), snap), SnapshotRead::Current(0));
+        }
+    }
+
+    #[test]
+    fn store_versioned_checked_rejects_bad_addresses() {
+        let mut heap = Heap::with_limits(4, Some(4));
+        heap.enable_versions();
+        assert!(!heap.store_versioned_checked(0, 1, 4));
+        assert!(!heap.store_versioned_checked(100, 1, 4));
+        let h = heap.alloc(1).unwrap();
+        assert!(heap.store_versioned_checked(h.addr(), 9, 4));
+        assert_eq!(heap.load(h), 9);
+        assert_eq!(heap.snapshot_read(h, 4), SnapshotRead::Current(9));
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! | [`AlgorithmKind::RInvalV1`] | commit executed remotely on a dedicated commit-server (Algorithm 2) |
 //! | [`AlgorithmKind::RInvalV2`] | + invalidation parallelized over invalidation-servers (Algorithm 3) |
 //! | [`AlgorithmKind::RInvalV3`] | + commit-server may run ahead of lagging invalidators (Algorithm 4) |
+//! | [`AlgorithmKind::RInvalMV`] | V3 + per-word version ring: read-only transactions run wait-free on a begin snapshot (§V read-mostly extension) |
 //! | [`AlgorithmKind::Tml`] | transactional mutex lock (extra reference point, paper §II) |
 //! | [`AlgorithmKind::CoarseLock`] | single global lock, no speculation (Fig. 1b) |
 //! | [`AlgorithmKind::Tl2`] | fine-grained ownership-record baseline the paper contrasts against (§II) |
@@ -191,6 +192,19 @@ pub enum AlgorithmKind {
         /// invalidation-server by.
         steps_ahead: usize,
     },
+    /// Multi-version RInval: the V3 protocol for writers plus a per-word
+    /// version ring written by the commit write-back, so read-only
+    /// transactions read a consistent snapshot at their begin timestamp —
+    /// they never validate, never abort, and never appear in invalidation
+    /// scans. A transaction that writes promotes in place to the V3
+    /// protocol at its first write.
+    RInvalMV {
+        /// Number of invalidation-server threads.
+        invalidators: usize,
+        /// How many commits the commit-server may outrun the slowest
+        /// invalidation-server by.
+        steps_ahead: usize,
+    },
     /// TL2 (Dice/Shalev/Shavit): fine-grained per-stripe versioned locks
     /// with a global version clock — the fine-grained alternative the
     /// paper contrasts coarse-grained designs against (§II).
@@ -200,7 +214,7 @@ pub enum AlgorithmKind {
 impl AlgorithmKind {
     /// The canonical names accepted by the [`std::str::FromStr`] impl, in
     /// declaration order — the single source for CLI help strings.
-    pub const NAMES: [&'static str; 8] = [
+    pub const NAMES: [&'static str; 9] = [
         "coarse-lock",
         "tml",
         "norec",
@@ -208,6 +222,7 @@ impl AlgorithmKind {
         "rinval-v1",
         "rinval-v2",
         "rinval-v3",
+        "rinval-mv",
         "tl2",
     ];
 
@@ -222,6 +237,7 @@ impl AlgorithmKind {
             AlgorithmKind::RInvalV1 => "rinval-v1",
             AlgorithmKind::RInvalV2 { .. } => "rinval-v2",
             AlgorithmKind::RInvalV3 { .. } => "rinval-v3",
+            AlgorithmKind::RInvalMV { .. } => "rinval-mv",
             AlgorithmKind::Tl2 => "tl2",
         }
     }
@@ -231,14 +247,16 @@ impl AlgorithmKind {
         match *self {
             AlgorithmKind::RInvalV2 { invalidators } => invalidators.max(1),
             AlgorithmKind::RInvalV3 { invalidators, .. } => invalidators.max(1),
+            AlgorithmKind::RInvalMV { invalidators, .. } => invalidators.max(1),
             _ => 0,
         }
     }
 
-    /// Number of commits the commit-server may run ahead (V3 only).
+    /// Number of commits the commit-server may run ahead (V3/MV only).
     pub fn steps_ahead(&self) -> usize {
         match *self {
             AlgorithmKind::RInvalV3 { steps_ahead, .. } => steps_ahead,
+            AlgorithmKind::RInvalMV { steps_ahead, .. } => steps_ahead,
             _ => 0,
         }
     }
@@ -250,7 +268,14 @@ impl AlgorithmKind {
             AlgorithmKind::RInvalV1
                 | AlgorithmKind::RInvalV2 { .. }
                 | AlgorithmKind::RInvalV3 { .. }
+                | AlgorithmKind::RInvalMV { .. }
         )
+    }
+
+    /// True for the multi-version kind (per-word version ring attached to
+    /// the heap, snapshot read path available).
+    pub fn is_multi_version(&self) -> bool {
+        matches!(self, AlgorithmKind::RInvalMV { .. })
     }
 
     /// The algorithm line-up evaluated in the paper's figures
@@ -275,8 +300,9 @@ impl std::fmt::Display for ParseAlgorithmKindError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "unknown algorithm '{}' (expected one of: {}; rinval-v2:<invalidators> and \
-             rinval-v3:<invalidators>:<steps_ahead> set the server parameters)",
+            "unknown algorithm '{}' (expected one of: {}; rinval-v2:<invalidators>, \
+             rinval-v3:<invalidators>:<steps_ahead> and rinval-mv:<invalidators>:<steps_ahead> \
+             set the server parameters)",
             self.input,
             AlgorithmKind::NAMES.join(", ")
         )
@@ -287,9 +313,10 @@ impl std::error::Error for ParseAlgorithmKindError {}
 
 /// Inverse of [`AlgorithmKind::name`]: parses the canonical names in
 /// [`AlgorithmKind::NAMES`]. The parameterized kinds default to the
-/// paper's configuration (`rinval-v2` → 4 invalidators, `rinval-v3` → 4
-/// invalidators running 4 steps ahead) and accept explicit parameters as
-/// colon-separated suffixes: `rinval-v2:8`, `rinval-v3:8:2`.
+/// paper's configuration (`rinval-v2` → 4 invalidators, `rinval-v3` and
+/// `rinval-mv` → 4 invalidators running 4 steps ahead) and accept explicit
+/// parameters as colon-separated suffixes: `rinval-v2:8`, `rinval-v3:8:2`,
+/// `rinval-mv:8:2`.
 impl std::str::FromStr for AlgorithmKind {
     type Err = ParseAlgorithmKindError;
 
@@ -331,6 +358,10 @@ impl std::str::FromStr for AlgorithmKind {
                 })
             }
             "rinval-v3" => Ok(AlgorithmKind::RInvalV3 {
+                invalidators: params[0].unwrap_or(4),
+                steps_ahead: params[1].unwrap_or(4),
+            }),
+            "rinval-mv" => Ok(AlgorithmKind::RInvalMV {
                 invalidators: params[0].unwrap_or(4),
                 steps_ahead: params[1].unwrap_or(4),
             }),
@@ -572,8 +603,12 @@ impl StmBuilder {
         let ring_len = self.algo.steps_ahead() + 1;
         let faults = faults::FaultPlan::new();
         faults.arm_from_env();
+        let mut heap = Heap::with_limits(self.heap_words, self.heap_max_words);
+        if self.algo.is_multi_version() {
+            heap.enable_versions();
+        }
         Arc::new(StmInner {
-            heap: Heap::with_limits(self.heap_words, self.heap_max_words),
+            heap,
             registry: Registry::new(self.max_threads),
             algo: self.algo,
             timestamp: CachePadded::new(AtomicU64::new(0)),

@@ -114,13 +114,23 @@ use std::time::{Duration, Instant};
 /// the `Acquire`-ordered observation of `REQ_PENDING` made the buffer's
 /// contents visible. Addresses are bounds-checked so a corrupt request
 /// cannot fault the server.
-unsafe fn write_back(stm: &StmInner, ptr: *const crate::logs::WriteEntry, len: usize) {
+unsafe fn write_back(
+    stm: &StmInner,
+    ptr: *const crate::logs::WriteEntry,
+    len: usize,
+    release_ts: u64,
+) {
     if ptr.is_null() {
         return;
     }
     for i in 0..len {
         let e = unsafe { *ptr.add(i) };
-        stm.heap.store_checked(e.addr, e.val);
+        // Versioned store: under RInvalMV each write-back also stamps the
+        // word's version ring with `release_ts` — the even timestamp this
+        // commit releases at — so snapshot readers at earlier timestamps
+        // keep resolving against the retired pre-image (no-op when the
+        // ring is disabled).
+        stm.heap.store_versioned_checked(e.addr, e.val, release_ts);
     }
 }
 
@@ -470,7 +480,7 @@ pub(crate) fn commit_server_v1(stm: &StmInner) {
             invalidate_conflicting(stm, &batch_wbf, &batch_mask, None);
             // Line 22: publish every member's write-set.
             for &(_, ptr, len) in &batch {
-                unsafe { write_back(stm, ptr, len) };
+                unsafe { write_back(stm, ptr, len, t + 2) };
             }
             // Line 23: leave the odd phase.
             stm.timestamp.store(t + 2, Ordering::SeqCst);
@@ -630,7 +640,7 @@ pub(crate) fn commit_server_v2(stm: &StmInner) {
             stm.timestamp.store(t + 1, Ordering::SeqCst);
             fence(Ordering::SeqCst);
             // Line 14: write-back runs in parallel with invalidation.
-            unsafe { write_back(stm, ptr, len) };
+            unsafe { write_back(stm, ptr, len, t + 2) };
             stm.timestamp.store(t + 2, Ordering::SeqCst);
             slot.request_state.store(REQ_COMMITTED, Ordering::SeqCst);
         }
@@ -816,7 +826,10 @@ pub(crate) fn recover_inflight(stm: &StmInner) {
             let slot = stm.registry.slot(i);
             let ptr = slot.req_ws_ptr.load(Ordering::Relaxed);
             let len = slot.req_ws_len.load(Ordering::Relaxed);
-            unsafe { write_back(stm, ptr, len) };
+            // Release below is `t + 1` (t is odd here); a re-run after a
+            // partial write-back appends duplicate `(t + 1, value)` ring
+            // entries, which the snapshot scan resolves identically.
+            unsafe { write_back(stm, ptr, len, t + 1) };
         }
         // Release the seqlock even if the claimed set was empty (a server
         // that died after bumping but before claiming anything — not

@@ -137,6 +137,15 @@ pub struct ServerCounters {
     /// Highest abort streak any transaction reached (`fetch_max`, so the
     /// mark survives the streak's own reset on commit).
     pub streak_high_water: AtomicU64,
+    /// Read-only transactions committed straight off their begin snapshot
+    /// (multi-version engines; no validation, no server round-trip).
+    pub ro_snapshot_commits: AtomicU64,
+    /// Snapshot reads that found the version ring overwritten past the
+    /// snapshot and fell back to revalidation.
+    pub ring_misses: AtomicU64,
+    /// Snapshot transactions promoted to the full write protocol on their
+    /// first write.
+    pub ro_promotions: AtomicU64,
     /// log₂ commit-latency histogram: bucket `i` counts commits whose
     /// attempt latency fell in `[2^i, 2^(i+1))` nanoseconds. Recording is
     /// opt-in ([`crate::StmBuilder::latency_histogram`]) — it costs two
@@ -185,6 +194,9 @@ impl ServerCounters {
             irrevocable_grants: self.irrevocable_grants.load(Ordering::Relaxed),
             backpressure_delays: self.backpressure_delays.load(Ordering::Relaxed),
             streak_high_water: self.streak_high_water.load(Ordering::Relaxed),
+            ro_snapshot_commits: self.ro_snapshot_commits.load(Ordering::Relaxed),
+            ring_misses: self.ring_misses.load(Ordering::Relaxed),
+            ro_promotions: self.ro_promotions.load(Ordering::Relaxed),
             commit_latency: std::array::from_fn(|i| self.commit_latency[i].load(Ordering::Relaxed)),
         }
     }
@@ -230,6 +242,12 @@ pub struct ServerStats {
     pub backpressure_delays: u64,
     /// Highest abort streak any transaction reached.
     pub streak_high_water: u64,
+    /// Read-only transactions committed straight off their begin snapshot.
+    pub ro_snapshot_commits: u64,
+    /// Snapshot reads that fell off the version ring into revalidation.
+    pub ring_misses: u64,
+    /// Snapshot transactions promoted to the write protocol.
+    pub ro_promotions: u64,
     /// log₂ commit-latency histogram (bucket `i` = `[2^i, 2^(i+1))` ns);
     /// all-zero unless the instance was built with
     /// [`crate::StmBuilder::latency_histogram`].
@@ -290,6 +308,9 @@ impl ServerStats {
             // A high-water mark has no meaningful difference; report the
             // later window's mark as-is.
             streak_high_water: self.streak_high_water,
+            ro_snapshot_commits: self.ro_snapshot_commits - earlier.ro_snapshot_commits,
+            ring_misses: self.ring_misses - earlier.ring_misses,
+            ro_promotions: self.ro_promotions - earlier.ro_promotions,
             commit_latency: std::array::from_fn(|i| {
                 self.commit_latency[i] - earlier.commit_latency[i]
             }),
@@ -507,6 +528,24 @@ mod tests {
         assert_eq!(d.txs_doomed, 2);
         assert_eq!(d.priority_refusals, 0);
         assert_eq!(d.streak_high_water, 9, "high-water mark carries over");
+    }
+
+    #[test]
+    fn snapshot_counters_snapshot_and_since() {
+        let c = ServerCounters::default();
+        ServerCounters::add(&c.ro_snapshot_commits, 6);
+        ServerCounters::add(&c.ring_misses, 2);
+        ServerCounters::add(&c.ro_promotions, 1);
+        let s = c.snapshot();
+        assert_eq!(s.ro_snapshot_commits, 6);
+        assert_eq!(s.ring_misses, 2);
+        assert_eq!(s.ro_promotions, 1);
+
+        ServerCounters::add(&c.ro_snapshot_commits, 3);
+        let d = c.snapshot().since(&s);
+        assert_eq!(d.ro_snapshot_commits, 3);
+        assert_eq!(d.ring_misses, 0);
+        assert_eq!(d.ro_promotions, 0);
     }
 
     #[test]

@@ -175,7 +175,36 @@ impl<'a> ThreadHandle<'a> {
             // attempt: everything inside is monomorphized, and a
             // degradation takes effect on the next retry.
             let r = algo::with_algorithm!(self.stm.effective_algo(), A => {
-                self.attempt::<A, T>(&mut body, None)
+                self.attempt::<A, T>(&mut body, None, false)
+            });
+            if let Ok(v) = r {
+                return v;
+            }
+        }
+    }
+
+    /// Runs `body` as a *declared read-only* transaction.
+    ///
+    /// The write half of the machinery is skipped entirely: the write-set,
+    /// write signature and allocation log are not re-armed per attempt,
+    /// [`Txn::is_read_only`] is `true` throughout, and any call to
+    /// [`Txn::write`], [`Txn::alloc`] or [`Txn::free`] inside the body
+    /// panics (API misuse, not an abort). Under
+    /// [`crate::AlgorithmKind::RInvalMV`] this routes straight to the
+    /// wait-free snapshot path — no registration, no validation and, ring
+    /// misses aside, no aborts. Under every other engine it behaves like
+    /// [`ThreadHandle::run`] with an empty write-set.
+    pub fn run_ro<T>(&mut self, mut body: impl FnMut(&mut Txn<'_>) -> TxResult<T>) -> T {
+        // One defensive scrub, not one per attempt: a preceding writing
+        // transaction's logs are only cleared at its *next* attempt, so
+        // they may still be populated here. After this, the declared-RO
+        // write panics keep them empty across every retry.
+        self.ws.clear();
+        self.wbf.clear();
+        self.alog.clear();
+        loop {
+            let r = algo::with_algorithm!(self.stm.effective_algo(), A => {
+                self.attempt::<A, T>(&mut body, None, true)
             });
             if let Ok(v) = r {
                 return v;
@@ -191,7 +220,7 @@ impl<'a> ThreadHandle<'a> {
     ) -> TxResult<T> {
         for _ in 0..max_attempts {
             let r = algo::with_algorithm!(self.stm.effective_algo(), A => {
-                self.attempt::<A, T>(&mut body, None)
+                self.attempt::<A, T>(&mut body, None, false)
             });
             if let Ok(v) = r {
                 return Ok(v);
@@ -222,7 +251,7 @@ impl<'a> ThreadHandle<'a> {
         let deadline = Instant::now() + timeout;
         loop {
             let r = algo::with_algorithm!(self.stm.effective_algo(), A => {
-                self.attempt::<A, T>(&mut body, Some(deadline))
+                self.attempt::<A, T>(&mut body, Some(deadline), false)
             });
             match r {
                 Ok(v) => return Ok(v),
@@ -243,13 +272,19 @@ impl<'a> ThreadHandle<'a> {
         &mut self,
         body: &mut impl FnMut(&mut Txn<'_>) -> TxResult<T>,
         deadline: Option<Instant>,
+        declared_ro: bool,
     ) -> Result<T, bool> {
         let profile = self.stm.profile;
         let p_total = Probe::start(profile);
         self.rs.clear();
-        self.ws.clear();
-        self.wbf.clear();
-        self.alog.clear();
+        if !declared_ro {
+            // Declared-RO attempts skip the write-log re-arm entirely:
+            // `run_ro` scrubbed the logs once on entry and the write-path
+            // panics keep them empty across retries.
+            self.ws.clear();
+            self.wbf.clear();
+            self.alog.clear();
+        }
         let saturated = self.backpressure_gate(deadline);
 
         let mut tx = Txn {
@@ -258,6 +293,8 @@ impl<'a> ThreadHandle<'a> {
             snapshot: 0,
             tml_writer: false,
             lock_held: false,
+            promoted: false,
+            declared_ro,
             deadline,
             timed_out: false,
             ops: algo::OpTable::of::<A>(),
@@ -436,6 +473,14 @@ pub struct Txn<'t> {
     /// both the abort path after a failed `begin` and the `cleanup_panic`
     /// seqlock repair.
     pub(crate) lock_held: bool,
+    /// RInvalMV: whether the transaction has promoted in place from the
+    /// snapshot-reader path to the full V3 protocol (first write). Gates
+    /// the MV engine's read/commit/cleanup mode selection.
+    pub(crate) promoted: bool,
+    /// Whether this attempt runs under [`ThreadHandle::run_ro`]: writes,
+    /// allocs and frees panic, and [`Txn::is_read_only`] is `true` by
+    /// declaration.
+    pub(crate) declared_ro: bool,
     /// [`ThreadHandle::try_run_for`]'s attempt deadline; `None` runs
     /// unbounded.
     pub(crate) deadline: Option<Instant>,
@@ -486,8 +531,17 @@ impl Txn<'_> {
     }
 
     /// Transactionally writes `v` to the word at `h`.
+    ///
+    /// # Panics
+    ///
+    /// Inside [`ThreadHandle::run_ro`] — a declared read-only transaction
+    /// must not write.
     #[inline]
     pub fn write(&mut self, h: Handle, v: u64) -> TxResult<()> {
+        assert!(
+            !self.declared_ro,
+            "Txn::write inside ThreadHandle::run_ro (declared read-only)"
+        );
         self.stats.writes += 1;
         let p = Probe::start(self.profile);
         let r = (self.ops.write)(self, h, v);
@@ -512,6 +566,10 @@ impl Txn<'_> {
     /// bins (recycled frees whose reclamation horizon has passed) before
     /// the heap's growable bump frontier is touched.
     pub fn alloc(&mut self, n: usize) -> TxResult<Handle> {
+        assert!(
+            !self.declared_ro,
+            "Txn::alloc inside ThreadHandle::run_ro (declared read-only)"
+        );
         if n == 0 {
             return Ok(Handle::NULL);
         }
@@ -542,6 +600,10 @@ impl Txn<'_> {
     /// across transactions after the free commits is a logic error, just
     /// like a dangling pointer.
     pub fn free(&mut self, h: Handle, n: usize) -> TxResult<()> {
+        assert!(
+            !self.declared_ro,
+            "Txn::free inside ThreadHandle::run_ro (declared read-only)"
+        );
         if h.is_null() || n == 0 {
             return Ok(());
         }
@@ -580,9 +642,10 @@ impl Txn<'_> {
         self.ws.len()
     }
 
-    /// True if the transaction has not written anything yet.
+    /// True if the transaction has not written anything yet — always true
+    /// under [`ThreadHandle::run_ro`], whose declaration forbids writes.
     pub fn is_read_only(&self) -> bool {
-        self.ws.is_empty() && !self.tml_writer
+        self.declared_ro || (self.ws.is_empty() && !self.tml_writer)
     }
 }
 

@@ -1,6 +1,6 @@
 //! Dispatch-equivalence suite for the monomorphized engine layer.
 //!
-//! The engines behind the eight [`AlgorithmKind`]s are now resolved once
+//! The engines behind the nine [`AlgorithmKind`]s are now resolved once
 //! per transaction attempt and run statically dispatched; these tests pin
 //! down that the *observable* behaviour through the public [`Stm`] facade
 //! is identical regardless of that dispatch path: a deterministic
@@ -15,7 +15,7 @@ use rinval::{AlgorithmKind, PhaseStats, Stm};
 
 /// Every kind, with the parameterized family members at small server
 /// counts so the suite stays fast on single-core hosts.
-fn all_kinds() -> [AlgorithmKind; 8] {
+fn all_kinds() -> [AlgorithmKind; 9] {
     [
         AlgorithmKind::CoarseLock,
         AlgorithmKind::Tml,
@@ -25,6 +25,10 @@ fn all_kinds() -> [AlgorithmKind; 8] {
         AlgorithmKind::RInvalV1,
         AlgorithmKind::RInvalV2 { invalidators: 2 },
         AlgorithmKind::RInvalV3 {
+            invalidators: 2,
+            steps_ahead: 3,
+        },
+        AlgorithmKind::RInvalMV {
             invalidators: 2,
             steps_ahead: 3,
         },
@@ -148,6 +152,14 @@ fn server_counters_match_write_commits() {
                 // commit (odd to lock, even to release).
                 assert_eq!(stm.timestamp(), 2 * INCS, "{name}: server timestamp");
             }
+            AlgorithmKind::RInvalMV { .. } => {
+                // Every transaction reads first, then writes: each one
+                // promotes from the snapshot path to the V3 protocol and
+                // commits through the server.
+                assert_eq!(stm.timestamp(), 2 * INCS, "{name}: server timestamp");
+                assert_eq!(st.ro_promotions, INCS, "{name}: one promotion per tx");
+                assert_eq!(st.ro_snapshot_commits, 0, "{name}: no pure-RO commits");
+            }
             _ => {
                 // Non-invalidation kinds never touch the server counters.
                 assert_eq!(st.inval_scans, 0, "{name}: no census scans");
@@ -168,6 +180,10 @@ fn from_str_inverts_name() {
         match parsed {
             AlgorithmKind::RInvalV2 { invalidators } => assert_eq!(invalidators, 4),
             AlgorithmKind::RInvalV3 {
+                invalidators,
+                steps_ahead,
+            }
+            | AlgorithmKind::RInvalMV {
                 invalidators,
                 steps_ahead,
             } => {

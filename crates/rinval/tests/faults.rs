@@ -21,7 +21,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 #[cfg(feature = "failpoints")]
 use std::time::Duration;
 
-fn all_kinds() -> [AlgorithmKind; 8] {
+fn all_kinds() -> [AlgorithmKind; 9] {
     [
         AlgorithmKind::CoarseLock,
         AlgorithmKind::Tml,
@@ -30,6 +30,10 @@ fn all_kinds() -> [AlgorithmKind; 8] {
         AlgorithmKind::RInvalV1,
         AlgorithmKind::RInvalV2 { invalidators: 2 },
         AlgorithmKind::RInvalV3 {
+            invalidators: 2,
+            steps_ahead: 2,
+        },
+        AlgorithmKind::RInvalMV {
             invalidators: 2,
             steps_ahead: 2,
         },

@@ -19,7 +19,7 @@ use rinval::{AlgorithmKind, Stm, TxResult};
 use std::collections::HashSet;
 use std::sync::Mutex;
 
-fn all_kinds() -> [AlgorithmKind; 8] {
+fn all_kinds() -> [AlgorithmKind; 9] {
     [
         AlgorithmKind::CoarseLock,
         AlgorithmKind::Tml,
@@ -29,6 +29,10 @@ fn all_kinds() -> [AlgorithmKind; 8] {
         AlgorithmKind::RInvalV1,
         AlgorithmKind::RInvalV2 { invalidators: 2 },
         AlgorithmKind::RInvalV3 {
+            invalidators: 2,
+            steps_ahead: 2,
+        },
+        AlgorithmKind::RInvalMV {
             invalidators: 2,
             steps_ahead: 2,
         },
@@ -195,6 +199,70 @@ fn aborted_free_is_discarded() {
         assert_eq!(stm.peek(h), 42, "{algo:?}");
         assert_eq!(stm.heap_stats().freed_words, 0, "{algo:?}");
     }
+}
+
+/// MV version recycling: ring entries retired by write commits are shed
+/// when their block passes the reclamation horizon and is handed out
+/// again — old versions never survive into a recycled block, and the
+/// occupancy telemetry reflects the shedding.
+#[test]
+fn retired_versions_recycle_past_the_horizon() {
+    let stm = Stm::builder(AlgorithmKind::RInvalMV {
+        invalidators: 2,
+        steps_ahead: 2,
+    })
+    .heap_words(1 << 10)
+    .build();
+    let mut th = stm.register_thread();
+    let h = th.run(|tx| tx.alloc(3));
+    // Churn: every write commit retires the pre-image into the word's
+    // ring, far past the ring depth.
+    const ROUNDS: u64 = 40;
+    for i in 0..ROUNDS {
+        th.run(|tx| {
+            for k in 0..3u32 {
+                tx.write(h.field(k), i * 10 + k as u64 + 1)?;
+            }
+            Ok(())
+        });
+    }
+    let st = stm.heap_stats();
+    assert!(st.version_ring_depth > 0, "MV instances must enable the ring");
+    assert!(
+        st.version_appends >= ROUNDS * 3,
+        "every write-back must append a version (appends = {})",
+        st.version_appends
+    );
+    assert!(
+        st.version_entries > 0
+            && st.version_entries <= 3 * st.version_ring_depth as u64,
+        "occupancy must be bounded by words × depth (entries = {})",
+        st.version_entries
+    );
+
+    // Free the block and cycle it through the horizon: the freeing
+    // thread's own next transaction starts past the free's era stamp, so
+    // the very next alloc recycles it — and must shed its versions.
+    th.run(|tx| tx.free(h, 3));
+    let fresh = th.run(|tx| tx.alloc(3));
+    let st = stm.heap_stats();
+    assert!(st.recycled_words >= 3, "block was not recycled: {st:?}");
+    assert_eq!(
+        st.version_entries, 0,
+        "recycled block kept stale versions: {st:?}"
+    );
+    // The recycled block reads as zero transactionally (a stale ring
+    // entry would resurface the old values through the snapshot path).
+    th.run(|tx| {
+        for k in 0..3u32 {
+            assert_eq!(tx.read(fresh.field(k))?, 0, "stale value resurfaced");
+        }
+        Ok(())
+    });
+    // And fresh write-backs re-seed the ring from scratch: one commit on
+    // one word leaves exactly the pre-image seed plus the new version.
+    th.run(|tx| tx.write(fresh, 99));
+    assert_eq!(stm.heap_stats().version_entries, 2);
 }
 
 /// The growable heap keeps allocating far past its initial arena under

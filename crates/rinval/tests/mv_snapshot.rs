@@ -1,0 +1,294 @@
+//! MV snapshot-path guarantees ([`AlgorithmKind::RInvalMV`], DESIGN.md
+//! §14): read-only transactions resolve against the per-word version ring
+//! at their begin snapshot, so they
+//!
+//! 1. commit in **exactly one attempt** under a hostile writer stream
+//!    (they never validate and nothing can doom them),
+//! 2. observe **opaque snapshots** — no torn multi-word reads across a
+//!    concurrent commit,
+//! 3. survive **ring misses** (a word overwritten more than the ring
+//!    depth since the snapshot) through the bounded
+//!    revalidate-and-advance fallback, which terminates.
+
+use rinval::{AlgorithmKind, Stm};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Duration;
+
+fn mv() -> AlgorithmKind {
+    AlgorithmKind::RInvalMV {
+        invalidators: 2,
+        steps_ahead: 2,
+    }
+}
+
+/// (i) One attempt per RO transaction, zero aborts, while writers hammer
+/// one of the words the readers visit.
+///
+/// The reader's footprint is designed so this is a *certainty*, not a
+/// race: its value read-set holds only never-written quiet words by the
+/// time it reaches the contended word, so even a ring miss there
+/// revalidates cleanly and the attempt still commits. Any validation or
+/// invalidation of RO transactions — the thing this engine removes —
+/// would make the abort counter nonzero under this stream.
+#[test]
+fn ro_commits_in_one_attempt_under_hostile_writers() {
+    const QUIET: u32 = 16;
+    const RO_TXS: u64 = 400;
+    let stm = Stm::builder(mv()).heap_words(1 << 12).max_threads(8).build();
+    let arr = stm.alloc(QUIET as usize + 1);
+    let contended = arr.field(QUIET);
+    let stop = AtomicBool::new(false);
+    let attempts = AtomicU64::new(0);
+
+    let (ro_aborts, writer_commits) = std::thread::scope(|s| {
+        let writers: Vec<_> = (0..2)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut th = stm.register_thread();
+                    let mut n = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        th.run(|tx| {
+                            let v = tx.read(contended)?;
+                            tx.write(contended, v + 1)
+                        });
+                        n += 1;
+                    }
+                    n
+                })
+            })
+            .collect();
+
+        let reader = s.spawn(|| {
+            let mut th = stm.register_thread();
+            for _ in 0..RO_TXS {
+                let sum = th.run_ro(|tx| {
+                    attempts.fetch_add(1, Ordering::Relaxed);
+                    assert!(tx.is_read_only(), "declared-RO must report read-only");
+                    let mut acc = 0u64;
+                    for k in 0..QUIET {
+                        acc = acc.wrapping_add(tx.read(arr.field(k))?);
+                    }
+                    // The contended word last: the read-set holds only
+                    // quiet words when a ring miss can strike here.
+                    Ok(acc.wrapping_add(tx.read(contended)?))
+                });
+                // Quiet words are all zero, so the sum is whatever value
+                // of the contended word the snapshot resolved.
+                let _ = sum;
+            }
+            th.take_stats().aborts
+        });
+
+        let ro_aborts = reader.join().unwrap();
+        stop.store(true, Ordering::Relaxed);
+        let wc = writers.into_iter().map(|w| w.join().unwrap()).sum::<u64>();
+        (ro_aborts, wc)
+    });
+
+    assert!(writer_commits > 0, "writer stream never ran");
+    assert_eq!(ro_aborts, 0, "a read-only transaction aborted");
+    assert_eq!(
+        attempts.load(Ordering::Relaxed),
+        RO_TXS,
+        "a read-only transaction needed more than one attempt"
+    );
+    let st = stm.server_stats();
+    assert_eq!(
+        st.ro_snapshot_commits, RO_TXS,
+        "every RO transaction must commit through the snapshot path"
+    );
+    // Promotions belong to the writers alone (each read-then-write
+    // attempt upgrades exactly once); the declared-RO reader cannot
+    // promote, so the counter is bounded below by the writer commits.
+    assert!(
+        st.ro_promotions >= writer_commits,
+        "promotions ({}) cannot undercount writer commits ({})",
+        st.ro_promotions,
+        writer_commits
+    );
+}
+
+/// (ii) Snapshot opacity: concurrent transfers preserve a conserved sum
+/// across four words; a torn read (some words before a commit's
+/// write-back, some after) would break it. Readers may abort here — a
+/// ring miss mid-stream revalidates words the writers *do* touch — but
+/// every value they return must be consistent.
+#[test]
+fn snapshots_are_opaque_no_torn_reads() {
+    const TOTAL: u64 = 1_000;
+    const TRANSFERS: u64 = 3_000;
+    let stm = Stm::builder(mv()).heap_words(1 << 12).max_threads(8).build();
+    let arr = stm.alloc(4);
+    stm.poke(arr.field(0), TOTAL);
+    let done = AtomicBool::new(false);
+    let stm = &stm;
+    let done = &done;
+
+    std::thread::scope(|s| {
+        let writers: Vec<_> = (0..2)
+            .map(|w| {
+                s.spawn(move || {
+                    let mut th = stm.register_thread();
+                    for i in 0..TRANSFERS {
+                        let from = arr.field(((i + w) % 4) as u32);
+                        let to = arr.field(((i + w + 1) % 4) as u32);
+                        th.run(|tx| {
+                            let a = tx.read(from)?;
+                            let b = tx.read(to)?;
+                            if a > 0 {
+                                tx.write(from, a - 1)?;
+                                tx.write(to, b + 1)?;
+                            }
+                            Ok(())
+                        });
+                    }
+                })
+            })
+            .collect();
+
+        let readers: Vec<_> = (0..2)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut th = stm.register_thread();
+                    let mut seen = 0u64;
+                    while !done.load(Ordering::Relaxed) || seen < 50 {
+                        let sum = th.run_ro(|tx| {
+                            let mut acc = 0u64;
+                            for k in 0..4 {
+                                acc += tx.read(arr.field(k))?;
+                            }
+                            Ok(acc)
+                        });
+                        assert_eq!(sum, TOTAL, "torn multi-word snapshot");
+                        seen += 1;
+                    }
+                    seen
+                })
+            })
+            .collect();
+
+        for w in writers {
+            w.join().unwrap();
+        }
+        done.store(true, Ordering::Relaxed);
+        for r in readers {
+            assert!(r.join().unwrap() >= 50);
+        }
+    });
+
+    let sum: u64 = (0..4).map(|k| stm.peek(arr.field(k))).sum();
+    assert_eq!(sum, TOTAL);
+}
+
+/// (iii) A forced ring miss takes the fallback exactly once and
+/// terminates with the current value: the reader opens its snapshot, a
+/// writer then overwrites one word strictly more times than the ring
+/// depth, and only then does the reader touch that word.
+#[test]
+fn ring_miss_fallback_terminates_and_advances() {
+    const OVERWRITES: u64 = 64; // comfortably > any plausible ring depth
+    let stm = Stm::builder(mv()).heap_words(1 << 10).max_threads(4).build();
+    let arr = stm.alloc(2);
+    let quiet = arr.field(0);
+    let hot = arr.field(1);
+    let snapshot_open = AtomicBool::new(false);
+    let writer_done = AtomicBool::new(false);
+
+    let (attempts, v) = std::thread::scope(|s| {
+        s.spawn(|| {
+            let mut th = stm.register_thread();
+            while !snapshot_open.load(Ordering::Relaxed) {
+                std::hint::spin_loop();
+            }
+            for _ in 0..OVERWRITES {
+                th.run(|tx| {
+                    let v = tx.read(hot)?;
+                    tx.write(hot, v + 1)
+                });
+            }
+            writer_done.store(true, Ordering::Relaxed);
+        });
+
+        let mut th = stm.register_thread();
+        let mut attempts = 0u64;
+        let v = th.run_ro(|tx| {
+            attempts += 1;
+            // Pin the snapshot with a benign read, then let the writer
+            // age the hot word's ring past our snapshot.
+            let q = tx.read(quiet)?;
+            assert_eq!(q, 0);
+            snapshot_open.store(true, Ordering::Relaxed);
+            while !writer_done.load(Ordering::Relaxed) {
+                std::hint::spin_loop();
+            }
+            tx.read(hot)
+        });
+        (attempts, v)
+    });
+
+    assert_eq!(v, OVERWRITES, "fallback must resolve to the current value");
+    assert_eq!(
+        attempts, 1,
+        "the miss fallback must advance the snapshot, not restart"
+    );
+    let st = stm.server_stats();
+    assert!(
+        st.ring_misses >= 1,
+        "the hot word must have fallen off the ring: {st:?}"
+    );
+    assert_eq!(st.ro_snapshot_commits, 1);
+}
+
+/// `run_ro` works (as plain transactions with an empty write-set) on a
+/// non-MV engine too, and its write prohibition is engine-independent.
+#[test]
+fn run_ro_is_engine_independent() {
+    for kind in [
+        AlgorithmKind::NOrec,
+        AlgorithmKind::RInvalV3 {
+            invalidators: 2,
+            steps_ahead: 2,
+        },
+        mv(),
+    ] {
+        let stm = Stm::builder(kind).heap_words(1 << 10).build();
+        let c = stm.alloc_init(&[7]);
+        let mut th = stm.register_thread();
+        assert_eq!(th.run_ro(|tx| tx.read(c)), 7, "{kind:?}");
+        // A write after run_ro still works (the declared-RO state must
+        // not leak into subsequent transactions).
+        th.run(|tx| tx.write(c, 8));
+        assert_eq!(stm.peek(c), 8, "{kind:?}");
+    }
+}
+
+/// Writing inside `run_ro` is API misuse and panics — on every engine —
+/// without poisoning the instance.
+#[test]
+fn run_ro_write_panics_and_contains() {
+    let stm = Stm::builder(mv()).heap_words(1 << 10).build();
+    let c = stm.alloc_init(&[1]);
+    let mut th = stm.register_thread();
+    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        th.run_ro(|tx| tx.write(c, 2))
+    }));
+    assert!(r.is_err(), "write inside run_ro must panic");
+    assert_eq!(stm.peek(c), 1, "the forbidden write must not publish");
+    // The same handle still runs transactions afterwards.
+    assert_eq!(th.run_ro(|tx| tx.read(c)), 1);
+    th.run(|tx| tx.write(c, 5));
+    assert_eq!(stm.peek(c), 5);
+}
+
+/// Deadline-bounded RO transactions still work on the snapshot path.
+#[test]
+fn ro_with_deadline_on_snapshot_path() {
+    let stm = Stm::builder(mv()).heap_words(1 << 10).build();
+    let c = stm.alloc_init(&[3]);
+    let mut th = stm.register_thread();
+    let v = th
+        .try_run_for(Duration::from_secs(30), |tx| tx.read(c))
+        .unwrap();
+    assert_eq!(v, 3);
+    assert_eq!(stm.server_stats().ro_snapshot_commits, 1);
+}

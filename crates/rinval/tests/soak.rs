@@ -1,7 +1,7 @@
 //! Long-running mixed-workload soak (the CI `soak` job; `#[ignore]`d in
 //! ordinary runs so `cargo test` stays fast).
 //!
-//! `RINVAL_SOAK_SECS` (default 2) is split evenly across all eight
+//! `RINVAL_SOAK_SECS` (default 2) is split evenly across all nine
 //! engines. Each slice runs an oversubscribed mix — short writers plus
 //! wide readers under an irrevocable-heavy starvation profile with
 //! backpressure enabled — and must end with:
@@ -20,7 +20,7 @@ use rinval::{AlgorithmKind, StarvationConfig, Stm};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
-fn all_kinds() -> [AlgorithmKind; 8] {
+fn all_kinds() -> [AlgorithmKind; 9] {
     [
         AlgorithmKind::CoarseLock,
         AlgorithmKind::Tml,
@@ -29,6 +29,10 @@ fn all_kinds() -> [AlgorithmKind; 8] {
         AlgorithmKind::RInvalV1,
         AlgorithmKind::RInvalV2 { invalidators: 2 },
         AlgorithmKind::RInvalV3 {
+            invalidators: 2,
+            steps_ahead: 2,
+        },
+        AlgorithmKind::RInvalMV {
             invalidators: 2,
             steps_ahead: 2,
         },
@@ -47,7 +51,7 @@ fn mixed_soak_stays_healthy() {
     // Oversubscribe: twice the hardware parallelism, so yields (the
     // backpressure gate, the spin-budget clamp) actually matter.
     let threads = std::thread::available_parallelism().map_or(4, |n| n.get() * 2);
-    let slice = Duration::from_secs_f64(secs / 8.0);
+    let slice = Duration::from_secs_f64(secs / all_kinds().len() as f64);
 
     for kind in all_kinds() {
         let stm = Stm::builder(kind)

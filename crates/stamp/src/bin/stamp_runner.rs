@@ -51,6 +51,23 @@ fn run_one(app: App, algo: AlgorithmKind, threads: usize, latency: bool) {
         report.heap.recycled_words,
         report.heap.live_segments,
     );
+    // Multi-version runs get a second line: version-ring occupancy and
+    // the snapshot-path counters (a zero ring depth means the engine ran
+    // without versions and the line would be all noise).
+    if report.heap.version_ring_depth > 0 {
+        println!(
+            "{:>10} {:>10} ring[depth={} entries={} appends={}] \
+             ro[snap-commits={} misses={} promotions={}]",
+            app.name(),
+            algo.name(),
+            report.heap.version_ring_depth,
+            report.heap.version_entries,
+            report.heap.version_appends,
+            report.server.ro_snapshot_commits,
+            report.server.ring_misses,
+            report.server.ro_promotions,
+        );
+    }
     if latency {
         let st = stm.server_stats();
         let fmt = |q: f64| {
