@@ -1,0 +1,125 @@
+//! topology — microbench pinning the scan-work win of domain-sharded
+//! registries (DESIGN.md §15).
+//!
+//! Each invalidation-server under a 2-domain topology walks only its own
+//! domain's summary-bitmap words; under the global (single-domain) layout
+//! every server walks the whole map. At a 128-slot registry that is 1
+//! word per scan vs 2 — the per-server word traffic must drop to **at
+//! most half**, which is this bench's acceptance bar (ISSUE 7). The bench
+//! exits non-zero when the bar is missed so the CI smoke step
+//! (`cargo bench --bench topology -- --test`) enforces it; `--test` only
+//! shrinks the operation count.
+//!
+//! Reported per geometry, from [`rinval::Stm::server_stats`]:
+//! bitmap words touched per invalidation scan
+//! ([`rinval::ServerStats::words_per_inval_scan`]), slots visited, and
+//! the local/cross commit split.
+
+use rinval::{AlgorithmKind, ServerStats, Stm, Topology};
+
+const REGISTRY_SLOTS: usize = 128;
+const LIVE_THREADS: usize = 4;
+
+struct Measurement {
+    label: &'static str,
+    domains: usize,
+    stats: ServerStats,
+}
+
+/// The server_scan commit workload: `threads` clients doing private RMW
+/// commits plus periodic commits on one shared word, on a V2 instance
+/// with 2 invalidation-servers and the given topology.
+fn run_workload(label: &'static str, topo: Topology, ops: u64) -> Measurement {
+    let stm = Stm::builder(AlgorithmKind::RInvalV2 { invalidators: 2 })
+        .heap_words(1 << 12)
+        .max_threads(REGISTRY_SLOTS)
+        .topology(topo)
+        .build();
+    let domains = stm.num_domains();
+    let shared = stm.alloc_init(&[0]);
+    let arr = stm.alloc(LIVE_THREADS);
+    let stm_ref = &stm;
+
+    std::thread::scope(|s| {
+        for c in 0..LIVE_THREADS {
+            s.spawn(move || {
+                let mut th = stm_ref.register_thread();
+                let mine = arr.field(c as u32);
+                for k in 0..ops {
+                    th.run(|tx| {
+                        let v = tx.read(mine)?;
+                        tx.write(mine, v + 1)
+                    });
+                    if k % 16 == 0 {
+                        th.run(|tx| {
+                            let v = tx.read(shared)?;
+                            tx.write(shared, v + 1)
+                        });
+                    }
+                }
+            });
+        }
+    });
+
+    for c in 0..LIVE_THREADS {
+        assert_eq!(stm.peek(arr.field(c as u32)), ops, "lost commits");
+    }
+    Measurement {
+        label,
+        domains,
+        stats: stm.server_stats(),
+    }
+}
+
+fn report(m: &Measurement) {
+    println!(
+        "{:>8}  {:>7}  {:>10}  {:>12}  {:>10.2}  {:>8}  {:>8}",
+        m.label,
+        m.domains,
+        m.stats.inval_scans,
+        m.stats.inval_slots_visited,
+        m.stats.words_per_inval_scan(),
+        m.stats.local_commits,
+        m.stats.cross_domain_commits,
+    );
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--test");
+    let ops: u64 = if smoke { 300 } else { 5_000 };
+
+    println!(
+        "topology: invalidation-scan word traffic, global vs 2-domain \
+         sharded registry ({REGISTRY_SLOTS} slots, {LIVE_THREADS} clients, \
+         {ops} private commits each)"
+    );
+    println!(
+        "{:>8}  {:>7}  {:>10}  {:>12}  {:>10}  {:>8}  {:>8}",
+        "layout", "domains", "scans", "visited", "words/scan", "local", "cross"
+    );
+
+    let global = run_workload("global", Topology::single(), ops);
+    let sharded = run_workload("sharded", Topology::logical(2), ops);
+    report(&global);
+    report(&sharded);
+
+    let g = global.stats.words_per_inval_scan();
+    let s = sharded.stats.words_per_inval_scan();
+    // Guard against a degenerate run (no invalidation scans at all would
+    // make the ratio vacuous).
+    if global.stats.inval_scans == 0 || sharded.stats.inval_scans == 0 {
+        eprintln!("FAIL: no invalidation scans recorded (workload broken)");
+        std::process::exit(1);
+    }
+    if s > g / 2.0 {
+        eprintln!(
+            "FAIL: sharded servers touch {s:.2} bitmap words/scan, more than \
+             half the global layout's {g:.2}"
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "ok: sharded invalidation scans touch {s:.2} words/scan vs {g:.2} \
+         global (<= 1/2)"
+    );
+}

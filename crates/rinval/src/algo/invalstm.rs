@@ -221,6 +221,9 @@ pub(crate) fn commit(tx: &mut Txn<'_>) -> TxResult<()> {
         }
     }
     ServerCounters::add(&st.inval_slots_visited, visited);
+    // Inline invalidation has no domain partition to exploit: every commit
+    // walks the whole live map, so the full word count is charged.
+    ServerCounters::add(&st.inval_words_scanned, tx.stm.registry.live().words_len() as u64);
     // Refusal rule (kept identical to the server-side `census_refusal`):
     // only a committer that is *not* the local (priority, index) maximum
     // among the conflict set can be refused — by a strictly
@@ -235,7 +238,10 @@ pub(crate) fn commit(tx: &mut Txn<'_>) -> TxResult<()> {
         tx.lock_held = false;
         return Err(Aborted);
     }
+    let sharded = tx.stm.registry.num_domains() > 1;
+    let home = tx.stm.registry.domain_of(tx.slot_idx);
     let mut doomed_n = 0u64;
+    let mut cross_n = 0u64;
     for &i in &doomed {
         if tx
             .stm
@@ -246,20 +252,33 @@ pub(crate) fn commit(tx: &mut Txn<'_>) -> TxResult<()> {
             .is_ok()
         {
             doomed_n += 1;
+            if sharded && tx.stm.registry.domain_of(i) != home {
+                cross_n += 1;
+            }
         }
     }
     if doomed_n != 0 {
         ServerCounters::add(&st.txs_doomed, doomed_n);
+    }
+    if cross_n != 0 {
+        ServerCounters::add(&st.cross_domain_invalidations, cross_n);
     }
     // Algorithm 1, line 20: publish the write-set. Versioned: when the MV
     // ring is enabled (degraded RInvalMV instances fall back to this
     // engine), each store also retires the pre-image into the word's ring
     // stamped with this commit's release timestamp, so concurrent
     // snapshot readers keep resolving.
+    let mut cross_commit = false;
     for e in tx.ws.entries() {
         tx.stm
             .heap
             .store_versioned(Handle::from_addr(e.addr), e.val, t + 2);
+        cross_commit |= sharded && tx.stm.heap.domain_of_word(e.addr as usize) != home;
+    }
+    if cross_commit {
+        ServerCounters::add(&st.cross_domain_commits, 1);
+    } else {
+        ServerCounters::add(&st.local_commits, 1);
     }
     // Algorithm 1, line 21: release the sequence lock.
     ts.store(t + 2, Ordering::SeqCst);

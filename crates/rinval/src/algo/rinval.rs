@@ -14,6 +14,12 @@
 //!
 //! No CAS is executed anywhere on this path, which is the paper's headline
 //! mechanism for removing coherence traffic from the critical path.
+//!
+//! Under domain sharding ([`crate::Topology`]) nothing here changes shape:
+//! the V2/V3 read path's invalidation-server check
+//! (`StmInner::inval_server_of`) resolves to the server covering the
+//! slot's *domain*, so a client only ever waits on the server that scans
+//! its own domain's registry words.
 
 use super::{invalstm, registry_begin, registry_end, sealed, Algorithm};
 use crate::faults;

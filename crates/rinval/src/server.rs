@@ -147,44 +147,107 @@ fn mask_get(mask: &[u64], i: usize) -> bool {
 /// Invalidates every live transaction (except those in `skip_mask`) whose
 /// read signature intersects `wbf`, walking only the `live` summary map.
 /// Shared by V1's inline invalidation and the invalidation-servers.
+///
+/// `server`: `Some(k)` restricts the walk to invalidation-server `k`'s
+/// partition — under domain sharding that means only `k`'s served domains'
+/// bitmap *words* are touched at all ([`StmInner::served_domains`] /
+/// [`crate::registry::Registry::domain_word_range`]); with one domain it
+/// is the seed's full-word walk with the `i % nk == k` predicate.
+/// `committer`: the committing slot, when known, so victims doomed across
+/// a domain boundary are counted as cross-domain invalidations.
 fn invalidate_conflicting(
     stm: &StmInner,
     wbf: &Bloom,
     skip_mask: &[u64],
-    partition: Option<(usize, usize)>,
+    server: Option<usize>,
+    committer: Option<usize>,
 ) {
     let st = &stm.server_stats;
     ServerCounters::add(&st.inval_scans, 1);
+    let home = committer
+        .filter(|_| stm.registry.num_domains() > 1)
+        .map(|c| stm.registry.domain_of(c));
     let mut visited = 0u64;
     let mut doomed = 0u64;
-    for i in stm.registry.live().iter_set_bits() {
-        if mask_get(skip_mask, i) {
-            continue;
-        }
-        if let Some((k, nk)) = partition {
-            if i % nk != k {
+    let mut cross = 0u64;
+    let mut words = 0u64;
+    let mut scan_words = |range: std::ops::Range<usize>| {
+        words += (range.end - range.start) as u64;
+        for i in stm.registry.live().iter_set_bits_in(range) {
+            if mask_get(skip_mask, i) {
                 continue;
             }
-        }
-        visited += 1;
-        let slot = stm.registry.slot(i);
-        if slot.is_live() && slot.read_bf.intersects_plain(wbf) {
-            // CAS (not store) so an already-idle slot is never marked: the
-            // server must not leak an INVALIDATED flag into a slot that has
-            // since been recycled to a different thread.
-            if slot
-                .tx_status
-                .compare_exchange(TX_ALIVE, TX_INVALIDATED, Ordering::SeqCst, Ordering::SeqCst)
-                .is_ok()
-            {
-                doomed += 1;
+            if let Some(k) = server {
+                if stm.inval_server_of(i) != k {
+                    continue;
+                }
+            }
+            visited += 1;
+            let slot = stm.registry.slot(i);
+            if slot.is_live() && slot.read_bf.intersects_plain(wbf) {
+                // CAS (not store) so an already-idle slot is never marked:
+                // the server must not leak an INVALIDATED flag into a slot
+                // that has since been recycled to a different thread.
+                if slot
+                    .tx_status
+                    .compare_exchange(
+                        TX_ALIVE,
+                        TX_INVALIDATED,
+                        Ordering::SeqCst,
+                        Ordering::SeqCst,
+                    )
+                    .is_ok()
+                {
+                    doomed += 1;
+                    if home.is_some_and(|h| stm.registry.domain_of(i) != h) {
+                        cross += 1;
+                    }
+                }
             }
         }
+    };
+    match server {
+        Some(k) => {
+            for d in stm.served_domains(k) {
+                scan_words(stm.registry.domain_word_range(d));
+            }
+        }
+        None => scan_words(0..stm.registry.live().words_len()),
     }
     ServerCounters::add(&st.inval_slots_visited, visited);
+    ServerCounters::add(&st.inval_words_scanned, words);
     if doomed != 0 {
         ServerCounters::add(&st.txs_doomed, doomed);
     }
+    if cross != 0 {
+        ServerCounters::add(&st.cross_domain_invalidations, cross);
+    }
+}
+
+/// Counts an answered commit as local or cross-domain: cross iff any
+/// written word lies outside the requester's home domain.
+///
+/// # Safety
+/// Same contract as [`write_back`]: `ptr/len` are a claimed request's
+/// published write-set, immutable until the request is answered.
+unsafe fn tally_commit_domains(
+    stm: &StmInner,
+    requester: usize,
+    ptr: *const WriteEntry,
+    len: usize,
+) {
+    let st = &stm.server_stats;
+    if stm.registry.num_domains() > 1 && !ptr.is_null() {
+        let home = stm.registry.domain_of(requester);
+        for i in 0..len {
+            let e = unsafe { *ptr.add(i) };
+            if stm.heap.domain_of_word(e.addr as usize) != home {
+                ServerCounters::add(&st.cross_domain_commits, 1);
+                return;
+            }
+        }
+    }
+    ServerCounters::add(&st.local_commits, 1);
 }
 
 /// Commit admission census (DESIGN.md §13): walks the `live` summary map
@@ -219,7 +282,7 @@ fn census_refusal(stm: &StmInner, wbf: &Bloom, c_idx: usize, pc: u32) -> Option<
         return None;
     }
     let st = &stm.server_stats;
-    ServerCounters::add(&st.inval_scans, 1);
+    ServerCounters::add(&st.census_scans, 1);
     let mut visited = 0u64;
     let mut total = 0u32;
     let mut max_pv = 0u32;
@@ -477,10 +540,13 @@ pub(crate) fn commit_server_v1(stm: &StmInner) {
             // Lines 19–21: one merged invalidation scan for the batch
             // (members skip each other; their own reads always intersect
             // their own writes).
-            invalidate_conflicting(stm, &batch_wbf, &batch_mask, None);
+            invalidate_conflicting(stm, &batch_wbf, &batch_mask, None, None);
             // Line 22: publish every member's write-set.
-            for &(_, ptr, len) in &batch {
-                unsafe { write_back(stm, ptr, len, t + 2) };
+            for &(i, ptr, len) in &batch {
+                unsafe {
+                    write_back(stm, ptr, len, t + 2);
+                    tally_commit_domains(stm, i, ptr, len);
+                }
             }
             // Line 23: leave the odd phase.
             stm.timestamp.store(t + 2, Ordering::SeqCst);
@@ -570,8 +636,12 @@ pub(crate) fn commit_server_v2(stm: &StmInner) {
             // Algorithm 4, line 2: only take a request whose own
             // invalidation-server has processed every prior commit —
             // otherwise the tx_status check below would not be
-            // authoritative. (In V2 the global wait below implies this;
-            // checking first lets V3 skip past a stalled partition.) The
+            // authoritative. Under domain sharding `inval_server_of` maps
+            // the slot to the server covering its *domain*, so this is a
+            // per-domain lag check: a lagging domain only defers its own
+            // requests, never strands another domain's. (In V2 the global
+            // wait below implies this; checking first lets V3 skip past a
+            // stalled partition.) The
             // request stays pending and is *not* counted as progress:
             // treating a lagging partition as "found" work would keep the
             // server hot-spinning with no backoff while contributing
@@ -640,7 +710,10 @@ pub(crate) fn commit_server_v2(stm: &StmInner) {
             stm.timestamp.store(t + 1, Ordering::SeqCst);
             fence(Ordering::SeqCst);
             // Line 14: write-back runs in parallel with invalidation.
-            unsafe { write_back(stm, ptr, len, t + 2) };
+            unsafe {
+                write_back(stm, ptr, len, t + 2);
+                tally_commit_domains(stm, i, ptr, len);
+            }
             stm.timestamp.store(t + 2, Ordering::SeqCst);
             slot.request_state.store(REQ_COMMITTED, Ordering::SeqCst);
         }
@@ -654,7 +727,10 @@ pub(crate) fn commit_server_v2(stm: &StmInner) {
 }
 
 /// Invalidation-server `k` of `stm.inval_ts.len()` (paper Algorithm 3,
-/// lines 18–25). Owns registry slots `i` with `i % num_servers == k`.
+/// lines 18–25). Owns the registry slots `i` with
+/// `stm.inval_server_of(i) == k` — the seed's `i % num_servers == k`
+/// round-robin with one domain, a domain-aligned partition otherwise, so
+/// the scan below only ever touches its served domains' bitmap words.
 pub(crate) fn invalidation_server(stm: &StmInner, k: usize) {
     let hb = &stm.health[1 + k];
     let _alive = hb.alive_guard();
@@ -662,7 +738,6 @@ pub(crate) fn invalidation_server(stm: &StmInner, k: usize) {
     let mut idle = Backoff::new();
     let me = &stm.inval_ts[k];
     let ring = stm.commit_ring.len() as u64;
-    let nk = stm.inval_ts.len();
     let mut skip_mask: Vec<u64> = vec![0; stm.registry.len().div_ceil(64)];
     while !stm.shutdown.load(Ordering::SeqCst) && !stm.degraded.load(Ordering::SeqCst) {
         hb.beat();
@@ -682,10 +757,13 @@ pub(crate) fn invalidation_server(stm: &StmInner, k: usize) {
             fence(Ordering::SeqCst);
             // Lines 21–23: scan my partition of the live map.
             skip_mask.iter_mut().for_each(|w| *w = 0);
-            if requester < stm.registry.len() {
+            let committer = if requester < stm.registry.len() {
                 mask_set(&mut skip_mask, requester);
-            }
-            invalidate_conflicting(stm, &wbf, &skip_mask, Some((k, nk)));
+                Some(requester)
+            } else {
+                None
+            };
+            invalidate_conflicting(stm, &wbf, &skip_mask, Some(k), committer);
             // Line 24: catch up by one commit.
             me.store(my + 2, Ordering::SeqCst);
             idle.reset();
@@ -821,7 +899,7 @@ pub(crate) fn recover_inflight(stm: &StmInner) {
             mask_set(&mut mask, i);
         }
         fence(Ordering::SeqCst);
-        invalidate_conflicting(stm, &merged, &mask, None);
+        invalidate_conflicting(stm, &merged, &mask, None, None);
         for &i in &claimed {
             let slot = stm.registry.slot(i);
             let ptr = slot.req_ws_ptr.load(Ordering::Relaxed);
@@ -889,8 +967,43 @@ pub(crate) enum ServerRole {
     Inval(usize),
 }
 
+/// Best-effort pin of the calling thread to `cpus`. Only does anything on
+/// Linux with the `affinity` feature enabled; elsewhere (and for an empty
+/// CPU list — e.g. [`crate::Topology::logical`] domains, which carry no
+/// CPU ids) it is a no-op. Failure is ignored: affinity is advisory, the
+/// protocol never depends on placement.
+#[cfg(all(feature = "affinity", target_os = "linux"))]
+fn pin_to_cpus(cpus: &[usize]) {
+    if cpus.is_empty() {
+        return;
+    }
+    // glibc's cpu_set_t is 1024 bits; build the mask directly and call the
+    // already-linked libc symbol rather than pulling in a binding crate.
+    let mut set = [0u64; 16];
+    for &c in cpus {
+        if c < 1024 {
+            set[c / 64] |= 1 << (c % 64);
+        }
+    }
+    extern "C" {
+        fn sched_setaffinity(pid: i32, cpusetsize: usize, mask: *const u64) -> i32;
+    }
+    // pid 0 targets the calling thread.
+    unsafe {
+        sched_setaffinity(0, std::mem::size_of_val(&set), set.as_ptr());
+    }
+}
+
+#[cfg(not(all(feature = "affinity", target_os = "linux")))]
+fn pin_to_cpus(_cpus: &[usize]) {}
+
 /// Spawns the server thread for `role`, returning its join handle (or the
 /// spawn error, which the watchdog treats as grounds for degradation).
+///
+/// Seats are placed near the domain they serve: the commit-server on
+/// domain 0, invalidation-server `k` on domain `k % num_domains` — the
+/// first domain `served_domains(k)` yields. Watchdog respawns come back
+/// through here, so a respawned seat lands in the same domain.
 pub(crate) fn spawn_server(
     stm: &Arc<StmInner>,
     role: ServerRole,
@@ -900,6 +1013,7 @@ pub(crate) fn spawn_server(
         ServerRole::Commit => std::thread::Builder::new()
             .name("rinval-commit".into())
             .spawn(move || {
+                pin_to_cpus(i.topology.cpus(0));
                 if i.algo == AlgorithmKind::RInvalV1 {
                     commit_server_v1(&i)
                 } else {
@@ -908,7 +1022,10 @@ pub(crate) fn spawn_server(
             }),
         ServerRole::Inval(k) => std::thread::Builder::new()
             .name(format!("rinval-inval-{k}"))
-            .spawn(move || invalidation_server(&i, k)),
+            .spawn(move || {
+                pin_to_cpus(i.topology.cpus(k % i.topology.num_domains()));
+                invalidation_server(&i, k)
+            }),
     }
 }
 

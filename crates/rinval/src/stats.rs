@@ -97,10 +97,17 @@ pub struct ServerCounters {
     pub empty_passes: AtomicU64,
     /// Slots actually examined by commit-server passes (set `pending` bits).
     pub slots_visited: AtomicU64,
-    /// Invalidation/census scans over the `live` summary map.
+    /// Invalidation scans over the `live` summary map.
     pub inval_scans: AtomicU64,
-    /// Slots actually examined by those scans (set `live` bits).
+    /// Slots actually examined by invalidation and census scans (set
+    /// `live` bits).
     pub inval_slots_visited: AtomicU64,
+    /// Commit-admission census walks over the `live` summary map
+    /// (DESIGN.md §13). Counted apart from `inval_scans` so
+    /// `inval_words_scanned / inval_scans` stays an exact per-scan word
+    /// footprint — a census walk dooms nothing and records no word
+    /// traffic, and how often aging arms it depends on contention timing.
+    pub census_scans: AtomicU64,
     /// V1 commit batches processed (each batch = one timestamp bump).
     pub batches: AtomicU64,
     /// Commit requests answered through batches (`batched_requests /
@@ -146,6 +153,20 @@ pub struct ServerCounters {
     /// Snapshot transactions promoted to the full write protocol on their
     /// first write.
     pub ro_promotions: AtomicU64,
+    /// Write commits whose write/free set stayed inside the committer's
+    /// home topology domain (always every commit with a single domain).
+    pub local_commits: AtomicU64,
+    /// Write commits that touched words outside the committer's home
+    /// domain (0 with a single domain).
+    pub cross_domain_commits: AtomicU64,
+    /// Live transactions doomed by a committer homed in a *different*
+    /// domain — the interconnect traffic domain sharding exists to shrink.
+    pub cross_domain_invalidations: AtomicU64,
+    /// Summary-bitmap words examined by invalidation scans. Under domain
+    /// sharding each server walks only its served domains' words, so
+    /// `inval_words_scanned / inval_scans` drops with the domain count
+    /// (the `bench/benches/topology.rs` gate).
+    pub inval_words_scanned: AtomicU64,
     /// log₂ commit-latency histogram: bucket `i` counts commits whose
     /// attempt latency fell in `[2^i, 2^(i+1))` nanoseconds. Recording is
     /// opt-in ([`crate::StmBuilder::latency_histogram`]) — it costs two
@@ -181,6 +202,7 @@ impl ServerCounters {
             slots_visited: self.slots_visited.load(Ordering::Relaxed),
             inval_scans: self.inval_scans.load(Ordering::Relaxed),
             inval_slots_visited: self.inval_slots_visited.load(Ordering::Relaxed),
+            census_scans: self.census_scans.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
             batched_requests: self.batched_requests.load(Ordering::Relaxed),
             heartbeat_misses: self.heartbeat_misses.load(Ordering::Relaxed),
@@ -197,6 +219,10 @@ impl ServerCounters {
             ro_snapshot_commits: self.ro_snapshot_commits.load(Ordering::Relaxed),
             ring_misses: self.ring_misses.load(Ordering::Relaxed),
             ro_promotions: self.ro_promotions.load(Ordering::Relaxed),
+            local_commits: self.local_commits.load(Ordering::Relaxed),
+            cross_domain_commits: self.cross_domain_commits.load(Ordering::Relaxed),
+            cross_domain_invalidations: self.cross_domain_invalidations.load(Ordering::Relaxed),
+            inval_words_scanned: self.inval_words_scanned.load(Ordering::Relaxed),
             commit_latency: std::array::from_fn(|i| self.commit_latency[i].load(Ordering::Relaxed)),
         }
     }
@@ -212,10 +238,12 @@ pub struct ServerStats {
     pub empty_passes: u64,
     /// Slots examined by commit-server passes.
     pub slots_visited: u64,
-    /// Invalidation/census scans over the `live` summary map.
+    /// Invalidation scans over the `live` summary map.
     pub inval_scans: u64,
-    /// Slots examined by those scans.
+    /// Slots examined by invalidation and census scans.
     pub inval_slots_visited: u64,
+    /// Commit-admission census walks (doom nothing, touch no words).
+    pub census_scans: u64,
     /// V1 commit batches processed.
     pub batches: u64,
     /// Commit requests answered through batches.
@@ -248,6 +276,14 @@ pub struct ServerStats {
     pub ring_misses: u64,
     /// Snapshot transactions promoted to the write protocol.
     pub ro_promotions: u64,
+    /// Write commits confined to the committer's home domain.
+    pub local_commits: u64,
+    /// Write commits that touched other domains' words.
+    pub cross_domain_commits: u64,
+    /// Transactions doomed by a committer from another domain.
+    pub cross_domain_invalidations: u64,
+    /// Summary-bitmap words examined by invalidation scans.
+    pub inval_words_scanned: u64,
     /// log₂ commit-latency histogram (bucket `i` = `[2^i, 2^(i+1))` ns);
     /// all-zero unless the instance was built with
     /// [`crate::StmBuilder::latency_histogram`].
@@ -275,6 +311,16 @@ impl ServerStats {
         }
     }
 
+    /// Mean summary-bitmap words examined per invalidation scan — the
+    /// per-pass scan footprint the domain-sharded registry shrinks.
+    pub fn words_per_inval_scan(&self) -> f64 {
+        if self.inval_scans == 0 {
+            0.0
+        } else {
+            self.inval_words_scanned as f64 / self.inval_scans as f64
+        }
+    }
+
     /// Mean V1 batch size (1.0 when every bump served a single request).
     pub fn mean_batch_size(&self) -> f64 {
         if self.batches == 0 {
@@ -293,6 +339,7 @@ impl ServerStats {
             slots_visited: self.slots_visited - earlier.slots_visited,
             inval_scans: self.inval_scans - earlier.inval_scans,
             inval_slots_visited: self.inval_slots_visited - earlier.inval_slots_visited,
+            census_scans: self.census_scans - earlier.census_scans,
             batches: self.batches - earlier.batches,
             batched_requests: self.batched_requests - earlier.batched_requests,
             heartbeat_misses: self.heartbeat_misses - earlier.heartbeat_misses,
@@ -311,6 +358,11 @@ impl ServerStats {
             ro_snapshot_commits: self.ro_snapshot_commits - earlier.ro_snapshot_commits,
             ring_misses: self.ring_misses - earlier.ring_misses,
             ro_promotions: self.ro_promotions - earlier.ro_promotions,
+            local_commits: self.local_commits - earlier.local_commits,
+            cross_domain_commits: self.cross_domain_commits - earlier.cross_domain_commits,
+            cross_domain_invalidations: self.cross_domain_invalidations
+                - earlier.cross_domain_invalidations,
+            inval_words_scanned: self.inval_words_scanned - earlier.inval_words_scanned,
             commit_latency: std::array::from_fn(|i| {
                 self.commit_latency[i] - earlier.commit_latency[i]
             }),
@@ -546,6 +598,30 @@ mod tests {
         assert_eq!(d.ro_snapshot_commits, 3);
         assert_eq!(d.ring_misses, 0);
         assert_eq!(d.ro_promotions, 0);
+    }
+
+    #[test]
+    fn topology_counters_snapshot_and_since() {
+        let c = ServerCounters::default();
+        ServerCounters::add(&c.local_commits, 7);
+        ServerCounters::add(&c.cross_domain_commits, 3);
+        ServerCounters::add(&c.cross_domain_invalidations, 2);
+        ServerCounters::add(&c.inval_scans, 4);
+        ServerCounters::add(&c.inval_words_scanned, 8);
+        let s = c.snapshot();
+        assert_eq!(s.local_commits, 7);
+        assert_eq!(s.cross_domain_commits, 3);
+        assert_eq!(s.cross_domain_invalidations, 2);
+        assert_eq!(s.inval_words_scanned, 8);
+        assert!((s.words_per_inval_scan() - 2.0).abs() < 1e-12);
+        assert_eq!(ServerStats::default().words_per_inval_scan(), 0.0);
+
+        ServerCounters::add(&c.cross_domain_commits, 1);
+        let d = c.snapshot().since(&s);
+        assert_eq!(d.cross_domain_commits, 1);
+        assert_eq!(d.local_commits, 0);
+        assert_eq!(d.cross_domain_invalidations, 0);
+        assert_eq!(d.inval_words_scanned, 0);
     }
 
     #[test]

@@ -1,0 +1,381 @@
+//! Machine topology: the domain layer behind registry/heap/server sharding.
+//!
+//! A [`Topology`] describes the machine as an ordered list of *domains* —
+//! socket or core groups whose CPUs share a last-level cache or memory
+//! controller. Every sharded structure in the crate (registry slot groups,
+//! heap allocation regions, invalidation-server partitions, the per-domain
+//! era clock) is keyed by the domain index, so the topology chosen at
+//! [`crate::StmBuilder::build`] time fixes the sharding geometry for the
+//! instance's lifetime.
+//!
+//! Resolution order (`Topology::resolve`):
+//!
+//! 1. an explicit [`crate::StmBuilder::topology`] override;
+//! 2. the `RINVAL_TOPOLOGY` environment variable — the same seeding
+//!    pattern as `RINVAL_FAILPOINTS`, so CI can force sharded
+//!    configurations on any machine without code changes;
+//! 3. [`Topology::single()`] — one domain, which makes every sharded path
+//!    degenerate to the pre-topology behavior (and must stay zero-cost:
+//!    the single-domain case is the perf-gated default).
+//!
+//! Auto-detection from sysfs ([`Topology::detect`]) is deliberately *not*
+//! in the default chain: a test suite run on a 2-socket CI host must not
+//! silently change sharding geometry. It is opt-in, either through the
+//! builder or with `RINVAL_TOPOLOGY=detect`.
+//!
+//! ## Environment syntax
+//!
+//! ```text
+//! RINVAL_TOPOLOGY=domains=<N>[;cpus=<group>,<group>,...]
+//! RINVAL_TOPOLOGY=detect
+//! ```
+//!
+//! with exactly `N` comma-separated CPU groups when `cpus` is given. A
+//! group is a `+`-joined list of CPU ids and inclusive ranges (`+`, not
+//! the kernel's `,`, because `,` already separates domains):
+//!
+//! ```text
+//! RINVAL_TOPOLOGY="domains=2;cpus=0-7,8-15"
+//! RINVAL_TOPOLOGY="domains=2;cpus=0-3+16-19,4-7+20-23"
+//! ```
+//!
+//! [`std::fmt::Display`] emits the same syntax, and
+//! `spec.parse::<Topology>()` round-trips it. A malformed
+//! `RINVAL_TOPOLOGY` panics at build time, mirroring the failpoint
+//! seeding contract: a typo must not silently run the wrong geometry.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Upper bound on domains a spec may declare — a plausibility guard, not
+/// a real machine limit (each domain costs padded registry words and a
+/// heap region, so an absurd count is always a typo).
+const MAX_DOMAINS: usize = 256;
+
+/// An ordered set of machine domains; see the module docs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Topology {
+    /// Per-domain CPU id lists. May be empty (a "logical" domain used
+    /// only for sharding, with no placement information) — affinity
+    /// pinning is skipped for such domains.
+    domains: Vec<Vec<usize>>,
+}
+
+impl Topology {
+    /// The default: one domain covering the whole machine. Every sharded
+    /// structure collapses to its pre-topology layout under this value.
+    pub fn single() -> Topology {
+        Topology {
+            domains: vec![Vec::new()],
+        }
+    }
+
+    /// `n` logical domains with no CPU placement information — the form
+    /// CI forces with `RINVAL_TOPOLOGY=domains=2`.
+    ///
+    /// # Panics
+    /// If `n` is zero or implausibly large (> 256).
+    pub fn logical(n: usize) -> Topology {
+        assert!(
+            (1..=MAX_DOMAINS).contains(&n),
+            "Topology: domain count {n} out of range 1..={MAX_DOMAINS}"
+        );
+        Topology {
+            domains: vec![Vec::new(); n],
+        }
+    }
+
+    /// Auto-detects NUMA nodes from
+    /// `/sys/devices/system/node/node*/cpulist`. Falls back to
+    /// [`Topology::single`] when sysfs is absent, unreadable, or reports
+    /// fewer than two nodes — detection must never make a machine *less*
+    /// capable than the default.
+    pub fn detect() -> Topology {
+        Self::detect_from("/sys/devices/system/node").unwrap_or_else(Topology::single)
+    }
+
+    fn detect_from(root: &str) -> Option<Topology> {
+        let mut nodes: Vec<(usize, Vec<usize>)> = Vec::new();
+        for entry in std::fs::read_dir(root).ok()? {
+            let entry = entry.ok()?;
+            let name = entry.file_name();
+            let name = name.to_str()?;
+            let idx: usize = match name.strip_prefix("node") {
+                Some(rest) => rest.parse().ok()?,
+                None => continue,
+            };
+            let list = std::fs::read_to_string(entry.path().join("cpulist")).ok()?;
+            // Kernel cpulist syntax: comma-separated ids and ranges.
+            let cpus = parse_cpu_group(list.trim(), ',').ok()?;
+            if !cpus.is_empty() {
+                nodes.push((idx, cpus));
+            }
+        }
+        if nodes.len() < 2 {
+            return None;
+        }
+        nodes.sort_by_key(|&(idx, _)| idx);
+        Some(Topology {
+            domains: nodes.into_iter().map(|(_, cpus)| cpus).collect(),
+        })
+    }
+
+    /// Resolves the topology an instance will be built with: an explicit
+    /// builder override wins, then the `RINVAL_TOPOLOGY` environment
+    /// variable, then [`Topology::single`].
+    ///
+    /// # Panics
+    /// If `RINVAL_TOPOLOGY` is set but malformed.
+    pub(crate) fn resolve(explicit: Option<Topology>) -> Topology {
+        if let Some(t) = explicit {
+            return t;
+        }
+        match std::env::var("RINVAL_TOPOLOGY") {
+            Ok(spec) => spec
+                .parse()
+                .unwrap_or_else(|e| panic!("RINVAL_TOPOLOGY: {e}")),
+            Err(_) => Topology::single(),
+        }
+    }
+
+    /// Number of domains (always ≥ 1).
+    pub fn num_domains(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// True for the degenerate single-domain topology.
+    pub fn is_single(&self) -> bool {
+        self.domains.len() == 1
+    }
+
+    /// CPU ids of domain `d` (empty when the domain carries no placement
+    /// information).
+    pub fn cpus(&self, d: usize) -> &[usize] {
+        &self.domains[d]
+    }
+}
+
+impl Default for Topology {
+    fn default() -> Topology {
+        Topology::single()
+    }
+}
+
+impl fmt::Display for Topology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "domains={}", self.domains.len())?;
+        if self.domains.iter().any(|d| !d.is_empty()) {
+            write!(f, ";cpus=")?;
+            for (i, cpus) in self.domains.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ",")?;
+                }
+                write_cpu_group(f, cpus)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for Topology {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Topology, String> {
+        let s = s.trim();
+        if s == "detect" {
+            return Ok(Topology::detect());
+        }
+        let mut n: Option<usize> = None;
+        let mut cpus: Option<Vec<Vec<usize>>> = None;
+        for part in s.split(';').filter(|p| !p.trim().is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("missing '=' in '{part}'"))?;
+            match key.trim() {
+                "domains" => {
+                    let v: usize = value
+                        .trim()
+                        .parse()
+                        .map_err(|_| format!("bad domain count '{value}'"))?;
+                    if !(1..=MAX_DOMAINS).contains(&v) {
+                        return Err(format!("domain count {v} out of range 1..={MAX_DOMAINS}"));
+                    }
+                    n = Some(v);
+                }
+                "cpus" => {
+                    let groups: Result<Vec<Vec<usize>>, String> = value
+                        .trim()
+                        .split(',')
+                        .map(|g| parse_cpu_group(g, '+'))
+                        .collect();
+                    cpus = Some(groups?);
+                }
+                other => return Err(format!("unknown key '{other}'")),
+            }
+        }
+        let n = n.ok_or_else(|| "missing 'domains=<N>'".to_string())?;
+        let domains = match cpus {
+            None => vec![Vec::new(); n],
+            Some(groups) => {
+                if groups.len() != n {
+                    return Err(format!(
+                        "cpus lists {} groups but domains={n}",
+                        groups.len()
+                    ));
+                }
+                groups
+            }
+        };
+        Ok(Topology { domains })
+    }
+}
+
+/// Parses one CPU group: `sep`-joined ids and inclusive `a-b` ranges.
+/// The empty string is a valid empty group.
+fn parse_cpu_group(s: &str, sep: char) -> Result<Vec<usize>, String> {
+    let mut cpus = Vec::new();
+    for piece in s.split(sep).map(str::trim).filter(|p| !p.is_empty()) {
+        match piece.split_once('-') {
+            Some((a, b)) => {
+                let a: usize = a
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad cpu range '{piece}'"))?;
+                let b: usize = b
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad cpu range '{piece}'"))?;
+                if b < a {
+                    return Err(format!("descending cpu range '{piece}'"));
+                }
+                cpus.extend(a..=b);
+            }
+            None => cpus.push(
+                piece
+                    .parse()
+                    .map_err(|_| format!("bad cpu id '{piece}'"))?,
+            ),
+        }
+    }
+    Ok(cpus)
+}
+
+/// Writes a CPU group in canonical form: consecutive runs compressed to
+/// `a-b` ranges, runs joined with `+`.
+fn write_cpu_group(f: &mut fmt::Formatter<'_>, cpus: &[usize]) -> fmt::Result {
+    let mut i = 0;
+    let mut first = true;
+    while i < cpus.len() {
+        let start = cpus[i];
+        let mut end = start;
+        while i + 1 < cpus.len() && cpus[i + 1] == end + 1 {
+            i += 1;
+            end = cpus[i];
+        }
+        if !first {
+            write!(f, "+")?;
+        }
+        first = false;
+        if start == end {
+            write!(f, "{start}")?;
+        } else {
+            write!(f, "{start}-{end}")?;
+        }
+        i += 1;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(t: &Topology) {
+        let spec = t.to_string();
+        let back: Topology = spec.parse().unwrap_or_else(|e| panic!("{spec}: {e}"));
+        assert_eq!(&back, t, "round trip through '{spec}'");
+    }
+
+    #[test]
+    fn single_is_default_and_roundtrips() {
+        let t = Topology::default();
+        assert!(t.is_single());
+        assert_eq!(t.num_domains(), 1);
+        assert_eq!(t.to_string(), "domains=1");
+        roundtrip(&t);
+    }
+
+    #[test]
+    fn logical_domains_roundtrip() {
+        let t = Topology::logical(2);
+        assert_eq!(t.num_domains(), 2);
+        assert!(!t.is_single());
+        assert_eq!(t.to_string(), "domains=2");
+        roundtrip(&t);
+    }
+
+    #[test]
+    fn issue_example_parses() {
+        let t: Topology = "domains=2;cpus=0-7,8-15".parse().unwrap();
+        assert_eq!(t.num_domains(), 2);
+        assert_eq!(t.cpus(0), (0..=7).collect::<Vec<_>>());
+        assert_eq!(t.cpus(1), (8..=15).collect::<Vec<_>>());
+        assert_eq!(t.to_string(), "domains=2;cpus=0-7,8-15");
+        roundtrip(&t);
+    }
+
+    #[test]
+    fn split_ranges_and_singletons_roundtrip() {
+        let t: Topology = "domains=2;cpus=0-1+6+9-10,2-5".parse().unwrap();
+        assert_eq!(t.cpus(0), [0, 1, 6, 9, 10]);
+        assert_eq!(t.cpus(1), [2, 3, 4, 5]);
+        assert_eq!(t.to_string(), "domains=2;cpus=0-1+6+9-10,2-5");
+        roundtrip(&t);
+    }
+
+    #[test]
+    fn empty_groups_allowed() {
+        let t: Topology = "domains=2;cpus=0-3,".parse().unwrap();
+        assert_eq!(t.cpus(0), [0, 1, 2, 3]);
+        assert!(t.cpus(1).is_empty());
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected() {
+        for bad in [
+            "",
+            "domains=0",
+            "domains=9999",
+            "domains=two",
+            "cpus=0-3",
+            "domains=2;cpus=0-3",
+            "domains=1;cpus=3-1",
+            "domains=1;cpus=x",
+            "domains=1;nodes=1",
+            "domains",
+        ] {
+            assert!(bad.parse::<Topology>().is_err(), "accepted '{bad}'");
+        }
+    }
+
+    #[test]
+    fn detect_never_fails() {
+        // Whatever the host looks like, detection yields a usable
+        // topology (≥ 1 domain) — the sysfs-less fallback is single().
+        let t = Topology::detect();
+        assert!(t.num_domains() >= 1);
+        roundtrip(&t);
+    }
+
+    #[test]
+    fn detect_spec_resolves() {
+        let t: Topology = "detect".parse().unwrap();
+        assert!(t.num_domains() >= 1);
+    }
+
+    #[test]
+    fn resolve_prefers_explicit() {
+        let t = Topology::resolve(Some(Topology::logical(3)));
+        assert_eq!(t.num_domains(), 3);
+    }
+}

@@ -138,7 +138,7 @@ fn server_counters_match_write_commits() {
         match algo {
             AlgorithmKind::InvalStm => {
                 // Committing clients run the invalidation scan inline.
-                assert_eq!(st.inval_scans, INCS, "{name}: one census per commit");
+                assert_eq!(st.inval_scans, INCS, "{name}: one inline scan per commit");
             }
             AlgorithmKind::RInvalV1 => {
                 assert_eq!(
@@ -162,7 +162,8 @@ fn server_counters_match_write_commits() {
             }
             _ => {
                 // Non-invalidation kinds never touch the server counters.
-                assert_eq!(st.inval_scans, 0, "{name}: no census scans");
+                assert_eq!(st.inval_scans, 0, "{name}: no invalidation scans");
+                assert_eq!(st.census_scans, 0, "{name}: no census walks");
                 assert_eq!(st.scan_passes, 0, "{name}: no server passes");
             }
         }

@@ -152,6 +152,7 @@ fn run_on(
         checksum: adj.popcount(stm),
         heap: stm.heap_stats(),
         server: stm.server_stats(),
+        domains: stm.domain_heap_stats(),
     }
 }
 

@@ -1,7 +1,7 @@
 //! Command-line runner for the STAMP-like applications.
 //!
 //! ```sh
-//! cargo run --release -p stamp --bin stamp_runner -- <app> [algorithm] [threads] [--latency]
+//! cargo run --release -p stamp --bin stamp_runner -- <app> [algorithm] [threads] [--latency] [--topology]
 //! cargo run --release -p stamp --bin stamp_runner -- all rinval-v2 4
 //! ```
 //!
@@ -10,6 +10,10 @@
 //! throughput and abort rate — the same columns the paper's Figure 8
 //! discussion cares about. `--latency` additionally enables the opt-in
 //! commit-latency histogram and prints the p50/p99 commit latency.
+//! `--topology` prints the domain-sharding telemetry: local vs
+//! cross-domain commits, cross-domain invalidations and per-domain heap
+//! occupancy (geometry comes from `RINVAL_TOPOLOGY`; without it the
+//! instance is single-domain and everything is local by construction).
 
 use rinval::{AlgorithmKind, Stm};
 use stamp::App;
@@ -18,7 +22,7 @@ fn parse_app(name: &str) -> Option<App> {
     App::ALL.into_iter().find(|a| a.name() == name)
 }
 
-fn run_one(app: App, algo: AlgorithmKind, threads: usize, latency: bool) {
+fn run_one(app: App, algo: AlgorithmKind, threads: usize, latency: bool, topology: bool) {
     let stm = Stm::builder(algo)
         .heap_words(app.default_heap_words())
         .latency_histogram(latency)
@@ -68,6 +72,25 @@ fn run_one(app: App, algo: AlgorithmKind, threads: usize, latency: bool) {
             report.server.ro_promotions,
         );
     }
+    if topology {
+        let occupancy: Vec<String> = report
+            .domains
+            .iter()
+            .map(|d| format!("d{}={}w/{}w", d.domain, d.allocated_words, d.capacity_words))
+            .collect();
+        println!(
+            "{:>10} {:>10} topo[domains={} commits local={} cross={} cross-inval={} \
+             words/scan={:.1}] heap[{}]",
+            app.name(),
+            algo.name(),
+            report.domains.len(),
+            report.server.local_commits,
+            report.server.cross_domain_commits,
+            report.server.cross_domain_invalidations,
+            report.server.words_per_inval_scan(),
+            occupancy.join(" "),
+        );
+    }
     if latency {
         let st = stm.server_stats();
         let fmt = |q: f64| {
@@ -91,6 +114,8 @@ fn main() {
     let mut args: Vec<String> = std::env::args().collect();
     let latency = args.iter().any(|a| a == "--latency");
     args.retain(|a| a != "--latency");
+    let topology = args.iter().any(|a| a == "--topology");
+    args.retain(|a| a != "--topology");
     let app_arg = args.get(1).map(String::as_str).unwrap_or("all");
     // The canonical parser lives on AlgorithmKind (FromStr); its error
     // already lists AlgorithmKind::NAMES and the parameter syntax.
@@ -105,10 +130,10 @@ fn main() {
 
     if app_arg == "all" {
         for app in App::ALL {
-            run_one(app, algo, threads, latency);
+            run_one(app, algo, threads, latency, topology);
         }
     } else if let Some(app) = parse_app(app_arg) {
-        run_one(app, algo, threads, latency);
+        run_one(app, algo, threads, latency, topology);
     } else {
         eprintln!(
             "unknown app '{app_arg}'; choose from all, {}",

@@ -168,6 +168,7 @@ fn route_all(
         checksum: paths.len() as u64,
         heap: stm.heap_stats(),
         server: stm.server_stats(),
+        domains: stm.domain_heap_stats(),
     };
     (report, paths)
 }

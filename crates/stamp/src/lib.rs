@@ -52,6 +52,12 @@ pub struct RunReport {
     /// executed on its nominal algorithm with no fault-handling activity —
     /// see [`RunReport::degraded`].
     pub server: ServerStats,
+    /// Per-domain heap occupancy ([`rinval::Stm::domain_heap_stats`]); one
+    /// entry on single-domain instances. Together with the topology
+    /// counters in `server` (`local_commits`, `cross_domain_commits`,
+    /// `cross_domain_invalidations`) this is what `stamp_runner
+    /// --topology` prints.
+    pub domains: Vec<rinval::DomainHeapStats>,
 }
 
 impl RunReport {
@@ -192,6 +198,7 @@ impl App {
                             checksum: 0,
                             heap: stm.heap_stats(),
                             server: stm.server_stats(),
+                            domains: stm.domain_heap_stats(),
                         },
                         Err(e),
                     ),
@@ -239,6 +246,7 @@ impl App {
                             checksum: 0,
                             heap: stm.heap_stats(),
                             server: stm.server_stats(),
+                            domains: stm.domain_heap_stats(),
                         },
                         Err(e),
                     ),
@@ -261,6 +269,7 @@ impl App {
                             checksum: 0,
                             heap: stm.heap_stats(),
                             server: stm.server_stats(),
+                            domains: stm.domain_heap_stats(),
                         },
                         Err(e),
                     ),
@@ -387,6 +396,7 @@ mod tests {
             checksum: 0,
             heap: Default::default(),
             server: Default::default(),
+            domains: Vec::new(),
         };
         assert!((r.throughput() - 50.0).abs() < 1e-9);
     }
