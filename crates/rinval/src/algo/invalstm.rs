@@ -21,10 +21,12 @@ use super::{registry_begin, registry_end, sealed, Algorithm};
 use crate::faults;
 use crate::heap::Handle;
 use crate::registry::{TX_ALIVE, TX_INVALIDATED};
+use crate::scan::{scan, ScanKind};
 use crate::stats::ServerCounters;
 use crate::sync::Backoff;
 use crate::txn::Txn;
 use crate::{Aborted, TxResult};
+use std::ops::ControlFlow;
 use std::sync::atomic::{fence, Ordering};
 
 /// Engine for [`crate::AlgorithmKind::InvalStm`].
@@ -177,18 +179,19 @@ pub(crate) fn commit(tx: &mut Txn<'_>) -> TxResult<()> {
         tx.lock_held = false;
         return Err(Aborted);
     }
-    // Algorithm 1, lines 15–19 fused into a single walk of the `live`
-    // summary map: collect the conflicting in-flight transactions, apply
-    // the §13 admission census (priority refusal / reader-bias budget),
-    // and only then invalidate them (committer always wins under the
-    // default policy; paper §IV-D). The census and the invalidation used
-    // to be two full registry walks; one bitmap scan now serves both.
-    // Priority loads ride the same scan and are skipped entirely —
-    // `check_census` false — while CommitterWins is in force and nothing
-    // has ever aged (`priority_ceiling` still zero), and for the token
-    // holder, whose commit must never be refused.
+    // Algorithm 1, lines 15–19 fused into a single kernel walk of the
+    // `live` summary map ([`crate::scan::scan`]): collect the conflicting
+    // in-flight transactions, apply the §13 admission census (priority
+    // refusal / reader-bias budget), and only then invalidate them
+    // (committer always wins under the default policy; paper §IV-D). The
+    // census and the invalidation used to be two full registry walks; one
+    // scan now serves both, and its [`ScanKind`] says so: `InvalCensus`
+    // records both scan flavours' counters when the census is armed,
+    // plain `Inval` otherwise. Priority loads ride the same scan and are
+    // skipped entirely — `check_census` false — while CommitterWins is in
+    // force and nothing has ever aged (`priority_ceiling` still zero),
+    // and for the token holder, whose commit must never be refused.
     let st = &tx.stm.server_stats;
-    ServerCounters::add(&st.inval_scans, 1);
     let budget = tx.stm.cm_policy.max_doomed();
     // Cheap arm first: the ceiling/budget test alone decides the common
     // unarmed case, so neither the token word nor the own-priority load
@@ -201,29 +204,37 @@ pub(crate) fn commit(tx: &mut Txn<'_>) -> TxResult<()> {
     } else {
         0
     };
-    let mut visited = 0u64;
     let mut max_pv = 0u32;
     let mut preceding = false;
     let mut doomed: Vec<usize> = Vec::new();
-    for i in tx.stm.registry.live().iter_set_bits() {
-        if i == tx.slot_idx {
-            continue;
-        }
-        visited += 1;
-        let other = tx.stm.registry.slot(i);
-        if other.is_live() && other.read_bf.intersects_plain(tx.wbf) {
-            if check_census {
-                let pv = other.priority.load(Ordering::SeqCst);
-                max_pv = max_pv.max(pv);
-                preceding |= crate::registry::precedes(pv, i, pc, tx.slot_idx);
-            }
-            doomed.push(i);
-        }
-    }
-    ServerCounters::add(&st.inval_slots_visited, visited);
+    // Index our write signature once; every live reader below is tested
+    // with the sparse intersection against just its non-zero words.
+    let nz = tx.wbf.nonzero_words();
     // Inline invalidation has no domain partition to exploit: every commit
-    // walks the whole live map, so the full word count is charged.
-    ServerCounters::add(&st.inval_words_scanned, tx.stm.registry.live().words_len() as u64);
+    // walks the whole live map (`served_word_ranges(None)`).
+    let _ = scan(
+        &tx.stm.registry,
+        st,
+        tx.stm.registry.live(),
+        if check_census {
+            ScanKind::InvalCensus
+        } else {
+            ScanKind::Inval
+        },
+        tx.stm.served_word_ranges(None),
+        |i| i != tx.slot_idx,
+        |i, other| {
+            if other.is_live() && other.read_bf.intersects_plain_sparse(tx.wbf, &nz) {
+                if check_census {
+                    let pv = other.priority.load(Ordering::SeqCst);
+                    max_pv = max_pv.max(pv);
+                    preceding |= crate::registry::precedes(pv, i, pc, tx.slot_idx);
+                }
+                doomed.push(i);
+            }
+            ControlFlow::Continue(())
+        },
+    );
     // Refusal rule (kept identical to the server-side `census_refusal`):
     // only a committer that is *not* the local (priority, index) maximum
     // among the conflict set can be refused — by a strictly

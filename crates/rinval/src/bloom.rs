@@ -14,6 +14,31 @@
 //!   atomic stores and scanned concurrently by committers / invalidation
 //!   servers. Only the owner mutates it, so no read-modify-write is needed —
 //!   one of the "no CAS anywhere" properties the paper is after.
+//!
+//! ## The one intersection, two memory flavours
+//!
+//! Every conflict test in the system is the same predicate — "do these two
+//! 16384-bit signatures share a set bit?" — asked of two storage flavours:
+//!
+//! * [`Bloom::intersects`] — **plain × plain**: both operands are
+//!   thread-private (the V1 server's batch signatures against a request
+//!   snapshot).
+//! * [`AtomicBloom::intersects_plain`] — **atomic-snapshot × plain**: the
+//!   left operand is a concurrently-written shared signature (a live
+//!   reader's `read_bf`), read word-by-word with `Relaxed` loads; the
+//!   per-word snapshot is made sound by the `SeqCst` fences the algorithms
+//!   place around the timestamp protocol (see `algo/invalstm.rs`).
+//!
+//! Both are thin wrappers over one shared lane-based core (module
+//! [`cores`]): the words are processed in blocks of [`cores::LANES`]
+//! accumulator lanes OR-combined into a single conflict mask, which LLVM
+//! autovectorizes to SIMD for the plain flavour and turns into a 4-way
+//! unrolled load/AND/OR chain (one branch per block instead of one per
+//! word) for the atomic flavour. The `scan-kernel-scalar` cargo feature
+//! swaps every public signature op onto the word-at-a-time scalar core
+//! instead — same results bit for bit (the equivalence suite in
+//! `tests/scan_equiv.rs` and the unit tests below pin this), so the
+//! feature isolates vectorization miscompiles and gives CI a parity leg.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -46,6 +71,270 @@ fn probe_bits(addr: u32) -> [u32; NUM_HASHES] {
     [(z as u32) % BLOOM_BITS as u32]
 }
 
+/// `(word index, single-bit mask)` for a probe bit — the one place the
+/// bit-mix arithmetic lives; both filter flavours' insert/membership paths
+/// go through it.
+#[inline]
+fn bit_ref(bit: u32) -> (usize, u64) {
+    ((bit / 64) as usize, 1u64 << (bit % 64))
+}
+
+/// The signature-op cores: a lane-based (autovectorization-friendly)
+/// implementation and a word-at-a-time scalar reference for every hot
+/// whole-filter operation.
+///
+/// Both cores are always compiled; the `scan-kernel-scalar` cargo feature
+/// only selects which one the public [`Bloom`] / [`AtomicBloom`] methods
+/// dispatch to. That keeps the reference path testable from any build —
+/// `tests/scan_equiv.rs` asserts bit-identical results pairwise — and lets
+/// the `server_scan` bench time one core against the other directly.
+///
+/// Hidden from docs: these are implementation probes, not API. Call the
+/// methods on the filter types instead.
+#[doc(hidden)]
+pub mod cores {
+    use super::{AtomicBloom, Bloom, BLOOM_WORDS};
+    use std::sync::atomic::Ordering;
+
+    /// Accumulator lanes per step: 4 × u64 matches one AVX2 register (and
+    /// two SSE2 registers), which is what LLVM reliably vectorizes the
+    /// plain loops to on stable Rust without `std::simd`.
+    pub const LANES: usize = 4;
+    /// Words per early-exit block of the intersection kernels: long enough
+    /// to amortize the branch (8 × `LANES` lanes), short enough that a hit
+    /// in the first cache lines still exits early.
+    pub const BLOCK: usize = 32;
+    const _: () = assert!(BLOOM_WORDS.is_multiple_of(BLOCK) && BLOCK.is_multiple_of(LANES));
+
+    /// Lane core of plain × plain intersection: per block, `LANES`
+    /// accumulators gather `a & b` and a single OR-combine decides the
+    /// early exit.
+    #[inline]
+    pub fn intersects_lanes(a: &Bloom, b: &Bloom) -> bool {
+        let (a, b) = (&a.words, &b.words);
+        let mut base = 0;
+        while base < BLOOM_WORDS {
+            let mut acc = [0u64; LANES];
+            let mut i = base;
+            while i < base + BLOCK {
+                for l in 0..LANES {
+                    acc[l] |= a[i + l] & b[i + l];
+                }
+                i += LANES;
+            }
+            if acc.iter().fold(0, |m, &x| m | x) != 0 {
+                return true;
+            }
+            base += BLOCK;
+        }
+        false
+    }
+
+    /// Scalar reference of [`intersects_lanes`]: first intersecting word
+    /// wins.
+    #[inline]
+    pub fn intersects_scalar(a: &Bloom, b: &Bloom) -> bool {
+        a.words
+            .iter()
+            .zip(b.words.iter())
+            .any(|(&x, &y)| x & y != 0)
+    }
+
+    /// Lane core of atomic-snapshot × plain intersection. Atomic loads
+    /// never autovectorize, so the win here is the 4-way unrolled
+    /// load/AND/OR chain: one conflict-mask branch per [`BLOCK`] words
+    /// instead of one per word, and four independent loads in flight.
+    #[inline]
+    pub fn intersects_plain_lanes(a: &AtomicBloom, b: &Bloom) -> bool {
+        let (a, b) = (&a.words, &b.words);
+        let mut base = 0;
+        while base < BLOOM_WORDS {
+            let mut acc = 0u64;
+            let mut i = base;
+            while i < base + BLOCK {
+                acc |= (a[i].load(Ordering::Relaxed) & b[i])
+                    | (a[i + 1].load(Ordering::Relaxed) & b[i + 1])
+                    | (a[i + 2].load(Ordering::Relaxed) & b[i + 2])
+                    | (a[i + 3].load(Ordering::Relaxed) & b[i + 3]);
+                i += LANES;
+            }
+            if acc != 0 {
+                return true;
+            }
+            base += BLOCK;
+        }
+        false
+    }
+
+    /// Scalar reference of [`intersects_plain_lanes`].
+    #[inline]
+    pub fn intersects_plain_scalar(a: &AtomicBloom, b: &Bloom) -> bool {
+        a.words
+            .iter()
+            .zip(b.words.iter())
+            .any(|(x, &y)| x.load(Ordering::Relaxed) & y != 0)
+    }
+
+    /// Lane core of the sparse atomic × plain intersection: only the
+    /// words listed in `nz` (the non-zero words of `b`, see
+    /// [`Bloom::nonzero_words`]) can contribute to `a & b`, so only those
+    /// are loaded — 4 independent loads in flight per step. This is the
+    /// scan-amortized form: one committer write signature is indexed once
+    /// and then tested against every live reader's signature, turning a
+    /// 256-word sweep per slot into `nz.len()` loads.
+    #[inline]
+    pub fn intersects_plain_sparse_lanes(a: &AtomicBloom, b: &Bloom, nz: &[u16]) -> bool {
+        let mut chunks = nz.chunks_exact(LANES);
+        for c in &mut chunks {
+            let mut acc = 0u64;
+            for &i in c {
+                let i = i as usize;
+                acc |= a.words[i].load(Ordering::Relaxed) & b.words[i];
+            }
+            if acc != 0 {
+                return true;
+            }
+        }
+        chunks
+            .remainder()
+            .iter()
+            .any(|&i| a.words[i as usize].load(Ordering::Relaxed) & b.words[i as usize] != 0)
+    }
+
+    /// Scalar reference of [`intersects_plain_sparse_lanes`].
+    #[inline]
+    pub fn intersects_plain_sparse_scalar(a: &AtomicBloom, b: &Bloom, nz: &[u16]) -> bool {
+        nz.iter()
+            .any(|&i| a.words[i as usize].load(Ordering::Relaxed) & b.words[i as usize] != 0)
+    }
+
+    /// Lane core of set union (`dst |= src`); a straight-line chunked loop
+    /// LLVM turns into full-width vector ORs.
+    #[inline]
+    pub fn union_lanes(dst: &mut Bloom, src: &Bloom) {
+        for (d, s) in dst
+            .words
+            .chunks_exact_mut(LANES)
+            .zip(src.words.chunks_exact(LANES))
+        {
+            for l in 0..LANES {
+                d[l] |= s[l];
+            }
+        }
+    }
+
+    /// Scalar reference of [`union_lanes`].
+    #[inline]
+    pub fn union_scalar(dst: &mut Bloom, src: &Bloom) {
+        for (d, &s) in dst.words.iter_mut().zip(src.words.iter()) {
+            *d |= s;
+        }
+    }
+
+    /// Lane core of the fused snapshot-and-test pass (see
+    /// [`AtomicBloom::snapshot_intersect2`]): one sweep loads the shared
+    /// filter into `dst` while accumulating its intersection masks against
+    /// two plain filters. No early exit — the snapshot must complete — so
+    /// the whole body is a branch-free unrolled chain.
+    #[inline]
+    pub fn snapshot_intersect2_lanes(
+        src: &AtomicBloom,
+        dst: &mut Bloom,
+        a: &Bloom,
+        b: &Bloom,
+    ) -> (bool, bool) {
+        let mut hit_a = [0u64; LANES];
+        let mut hit_b = [0u64; LANES];
+        let mut i = 0;
+        while i < BLOOM_WORDS {
+            for l in 0..LANES {
+                let w = src.words[i + l].load(Ordering::Relaxed);
+                dst.words[i + l] = w;
+                hit_a[l] |= w & a.words[i + l];
+                hit_b[l] |= w & b.words[i + l];
+            }
+            i += LANES;
+        }
+        (
+            hit_a.iter().fold(0, |m, &x| m | x) != 0,
+            hit_b.iter().fold(0, |m, &x| m | x) != 0,
+        )
+    }
+
+    /// Scalar reference of [`snapshot_intersect2_lanes`].
+    #[inline]
+    pub fn snapshot_intersect2_scalar(
+        src: &AtomicBloom,
+        dst: &mut Bloom,
+        a: &Bloom,
+        b: &Bloom,
+    ) -> (bool, bool) {
+        let mut hit_a = 0u64;
+        let mut hit_b = 0u64;
+        for i in 0..BLOOM_WORDS {
+            let w = src.words[i].load(Ordering::Relaxed);
+            dst.words[i] = w;
+            hit_a |= w & a.words[i];
+            hit_b |= w & b.words[i];
+        }
+        (hit_a != 0, hit_b != 0)
+    }
+
+    /// Lane core of `dst |= atomic src` (4-way unrolled loads).
+    #[inline]
+    pub fn or_into_lanes(src: &AtomicBloom, dst: &mut Bloom) {
+        let mut i = 0;
+        while i < BLOOM_WORDS {
+            for l in 0..LANES {
+                dst.words[i + l] |= src.words[i + l].load(Ordering::Relaxed);
+            }
+            i += LANES;
+        }
+    }
+
+    /// Scalar reference of [`or_into_lanes`].
+    #[inline]
+    pub fn or_into_scalar(src: &AtomicBloom, dst: &mut Bloom) {
+        for (d, s) in dst.words.iter_mut().zip(src.words.iter()) {
+            *d |= s.load(Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(not(feature = "scan-kernel-scalar"))]
+use cores::{
+    intersects_lanes as intersects_impl, intersects_plain_lanes as intersects_plain_impl,
+    intersects_plain_sparse_lanes as intersects_plain_sparse_impl, or_into_lanes as or_into_impl,
+    snapshot_intersect2_lanes as snapshot_intersect2_impl, union_lanes as union_impl,
+};
+#[cfg(feature = "scan-kernel-scalar")]
+use cores::{
+    intersects_plain_scalar as intersects_plain_impl,
+    intersects_plain_sparse_scalar as intersects_plain_sparse_impl,
+    intersects_scalar as intersects_impl, or_into_scalar as or_into_impl,
+    snapshot_intersect2_scalar as snapshot_intersect2_impl, union_scalar as union_impl,
+};
+
+/// The indices of a signature's non-zero words, captured by
+/// [`Bloom::nonzero_words`]. An invalidation scan indexes the committer's
+/// write signature once and then runs the sparse intersection
+/// ([`AtomicBloom::intersects_plain_sparse`]) against every live reader —
+/// for a typical transactional write-set (tens of addresses across a
+/// 256-word signature) that replaces the full per-slot word sweep with a
+/// handful of targeted loads.
+pub struct NonZeroWords {
+    idx: [u16; BLOOM_WORDS],
+    len: usize,
+}
+
+impl NonZeroWords {
+    /// The captured word indices, ascending.
+    #[inline]
+    pub fn as_slice(&self) -> &[u16] {
+        &self.idx[..self.len]
+    }
+}
+
 /// A thread-private Bloom filter over heap word addresses.
 #[derive(Clone, Debug)]
 pub struct Bloom {
@@ -68,16 +357,18 @@ impl Bloom {
     #[inline]
     pub fn insert(&mut self, addr: u32) {
         for bit in probe_bits(addr) {
-            self.words[(bit / 64) as usize] |= 1u64 << (bit % 64);
+            let (w, m) = bit_ref(bit);
+            self.words[w] |= m;
         }
     }
 
     /// Membership test. Never returns `false` for an inserted address.
     #[inline]
     pub fn may_contain(&self, addr: u32) -> bool {
-        probe_bits(addr)
-            .iter()
-            .all(|&bit| self.words[(bit / 64) as usize] & (1u64 << (bit % 64)) != 0)
+        probe_bits(addr).iter().all(|&bit| {
+            let (w, m) = bit_ref(bit);
+            self.words[w] & m != 0
+        })
     }
 
     /// True if no bit is set.
@@ -91,27 +382,42 @@ impl Bloom {
     }
 
     /// True if the two filters share at least one set bit — the conflict
-    /// test used by commit-time invalidation (`write_bf intersects read_bf`).
+    /// test used by commit-time invalidation (`write_bf intersects read_bf`),
+    /// in its plain × plain flavour (see the module docs; the
+    /// atomic-snapshot flavour is [`AtomicBloom::intersects_plain`]).
     #[inline]
     pub fn intersects(&self, other: &Bloom) -> bool {
-        self.words
-            .iter()
-            .zip(other.words.iter())
-            .any(|(&a, &b)| a & b != 0)
+        intersects_impl(self, other)
     }
 
     /// Merges every bit of `other` into `self` (set union) — used by the
     /// V1 commit-server to build a batch's combined write signature.
     #[inline]
     pub fn union_with(&mut self, other: &Bloom) {
-        for (d, &s) in self.words.iter_mut().zip(other.words.iter()) {
-            *d |= s;
-        }
+        union_impl(self, other);
     }
 
     /// Raw words, used when publishing into an [`AtomicBloom`].
     pub fn words(&self) -> &[u64; BLOOM_WORDS] {
         &self.words
+    }
+
+    /// Index the non-zero words for the scan-amortized sparse
+    /// intersection (see [`NonZeroWords`]). O(`BLOOM_WORDS`) once, after
+    /// which every [`AtomicBloom::intersects_plain_sparse`] against this
+    /// signature touches only the listed words.
+    pub fn nonzero_words(&self) -> NonZeroWords {
+        let mut nz = NonZeroWords {
+            idx: [0; BLOOM_WORDS],
+            len: 0,
+        };
+        for (i, &w) in self.words.iter().enumerate() {
+            if w != 0 {
+                nz.idx[nz.len] = i as u16;
+                nz.len += 1;
+            }
+        }
+        nz
     }
 
     /// Number of set bits (diagnostics only).
@@ -152,9 +458,10 @@ impl AtomicBloom {
     #[inline]
     pub fn owner_insert(&self, addr: u32) {
         for bit in probe_bits(addr) {
-            let w = &self.words[(bit / 64) as usize];
-            let cur = w.load(Ordering::Relaxed);
-            w.store(cur | (1u64 << (bit % 64)), Ordering::Relaxed);
+            let (w, m) = bit_ref(bit);
+            let word = &self.words[w];
+            let cur = word.load(Ordering::Relaxed);
+            word.store(cur | m, Ordering::Relaxed);
         }
     }
 
@@ -185,25 +492,49 @@ impl AtomicBloom {
     /// accumulate a commit batch's combined *read* signature without an
     /// intermediate snapshot).
     pub fn or_into(&self, dst: &mut Bloom) {
-        for (d, s) in dst.words.iter_mut().zip(self.words.iter()) {
-            *d |= s.load(Ordering::Relaxed);
-        }
+        or_into_impl(self, dst);
     }
 
-    /// True if `write_sig` shares a bit with this (read) signature.
+    /// Fused snapshot-and-test: loads the current contents into `dst` and,
+    /// in the same pass over the words, reports whether that snapshot
+    /// intersects `a` and whether it intersects `b`.
+    ///
+    /// This is the V1 commit-server's admission primitive: one sweep both
+    /// *builds* the candidate's write-signature snapshot and answers the
+    /// write-write (`∩ batch writes`) and write-read (`∩ batch reads`)
+    /// independence tests that previously each re-walked the 256 words
+    /// (`load_into` + two `intersects`). The returned pair is
+    /// `(dst ∩ a, dst ∩ b)` for exactly the snapshot left in `dst`.
+    #[inline]
+    pub fn snapshot_intersect2(&self, dst: &mut Bloom, a: &Bloom, b: &Bloom) -> (bool, bool) {
+        snapshot_intersect2_impl(self, dst, a, b)
+    }
+
+    /// True if `write_sig` shares a bit with this (read) signature — the
+    /// atomic-snapshot flavour of the conflict test (see the module docs;
+    /// the plain × plain flavour is [`Bloom::intersects`]).
     #[inline]
     pub fn intersects_plain(&self, write_sig: &Bloom) -> bool {
-        self.words
-            .iter()
-            .zip(write_sig.words().iter())
-            .any(|(a, &b)| a.load(Ordering::Relaxed) & b != 0)
+        intersects_plain_impl(self, write_sig)
+    }
+
+    /// Sparse form of [`AtomicBloom::intersects_plain`]: `nz` must be
+    /// [`Bloom::nonzero_words`] of `write_sig`, and only those words are
+    /// loaded. Exact, not approximate — words absent from `nz` are zero
+    /// in `write_sig` and cannot contribute to the intersection. This is
+    /// the per-slot test of the invalidation scans, where one committer
+    /// signature is indexed once and checked against every live reader.
+    #[inline]
+    pub fn intersects_plain_sparse(&self, write_sig: &Bloom, nz: &NonZeroWords) -> bool {
+        intersects_plain_sparse_impl(self, write_sig, nz.as_slice())
     }
 
     /// Membership test against the current contents.
     pub fn may_contain(&self, addr: u32) -> bool {
-        probe_bits(addr)
-            .iter()
-            .all(|&bit| self.words[(bit / 64) as usize].load(Ordering::Relaxed) & (1u64 << (bit % 64)) != 0)
+        probe_bits(addr).iter().all(|&bit| {
+            let (w, m) = bit_ref(bit);
+            self.words[w].load(Ordering::Relaxed) & m != 0
+        })
     }
 }
 
@@ -334,6 +665,65 @@ mod tests {
         ab.owner_insert(3);
         ab.or_into(&mut a);
         assert!(a.may_contain(1) && a.may_contain(2) && a.may_contain(3));
+    }
+
+    #[test]
+    fn snapshot_intersect2_matches_separate_ops() {
+        // The fused admission pass must agree with the three ops it fuses
+        // (load_into + intersects against each filter), snapshot included.
+        let shared = AtomicBloom::new();
+        for a in [3u32, 99, 4097, 70_000] {
+            shared.owner_insert(a);
+        }
+        let mut batch_w = Bloom::new();
+        batch_w.insert(99); // overlaps `shared`
+        let mut batch_r = Bloom::new();
+        batch_r.insert(123_456); // disjoint from `shared`
+
+        let mut fused = Bloom::new();
+        let (hit_w, hit_r) = shared.snapshot_intersect2(&mut fused, &batch_w, &batch_r);
+
+        let mut plain = Bloom::new();
+        shared.load_into(&mut plain);
+        assert_eq!(plain.words(), fused.words());
+        assert_eq!(hit_w, plain.intersects(&batch_w));
+        assert_eq!(hit_r, plain.intersects(&batch_r));
+        assert!(hit_w && !hit_r);
+    }
+
+    #[test]
+    fn lane_and_scalar_cores_agree() {
+        // Spot-check (the exhaustive version is the proptest suite in
+        // tests/scan_equiv.rs): every core pair agrees on a filter whose
+        // set bits straddle several lane blocks.
+        let mut a = Bloom::new();
+        let mut b = Bloom::new();
+        let shared_a = AtomicBloom::new();
+        for i in 0..300u32 {
+            a.insert(i * 7919);
+            shared_a.owner_insert(i * 7919);
+            b.insert(i * 104_729 + 13);
+        }
+        assert_eq!(cores::intersects_lanes(&a, &b), cores::intersects_scalar(&a, &b));
+        assert_eq!(
+            cores::intersects_plain_lanes(&shared_a, &b),
+            cores::intersects_plain_scalar(&shared_a, &b)
+        );
+        let (mut u1, mut u2) = (a.clone(), a.clone());
+        cores::union_lanes(&mut u1, &b);
+        cores::union_scalar(&mut u2, &b);
+        assert_eq!(u1.words(), u2.words());
+
+        let (mut s1, mut s2) = (Bloom::new(), Bloom::new());
+        let h1 = cores::snapshot_intersect2_lanes(&shared_a, &mut s1, &a, &b);
+        let h2 = cores::snapshot_intersect2_scalar(&shared_a, &mut s2, &a, &b);
+        assert_eq!(h1, h2);
+        assert_eq!(s1.words(), s2.words());
+
+        let (mut o1, mut o2) = (b.clone(), b.clone());
+        cores::or_into_lanes(&shared_a, &mut o1);
+        cores::or_into_scalar(&shared_a, &mut o2);
+        assert_eq!(o1.words(), o2.words());
     }
 
     #[test]

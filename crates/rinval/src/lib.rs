@@ -58,6 +58,7 @@ pub mod policy;
 pub mod heap;
 pub mod logs;
 pub mod registry;
+pub mod scan;
 pub mod stats;
 pub mod sync;
 pub mod topology;
@@ -479,6 +480,29 @@ impl StmInner {
             let d = k % nd;
             (d..d + 1).step_by(1)
         }
+    }
+
+    /// The summary-map word ranges an invalidation walk covers, as kernel
+    /// inputs ([`scan::scan`]): `Some(k)` yields invalidation-server `k`'s
+    /// served domains' ranges ([`StmInner::served_domains`] mapped through
+    /// [`Registry::domain_word_range`]); `None` yields the single
+    /// full-map range (V1's merged batch scan, recovery, InvalSTM).
+    pub(crate) fn served_word_ranges(
+        &self,
+        server: Option<usize>,
+    ) -> impl Iterator<Item = std::ops::Range<usize>> + '_ {
+        let mut domains = server.map(|k| self.served_domains(k));
+        let mut full = domains.is_none();
+        std::iter::from_fn(move || {
+            if full {
+                full = false;
+                return Some(0..self.registry.live().words_len());
+            }
+            domains
+                .as_mut()?
+                .next()
+                .map(|d| self.registry.domain_word_range(d))
+        })
     }
 
     /// The algorithm attempts should run *now*: the configured one, unless

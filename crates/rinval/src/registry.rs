@@ -435,6 +435,28 @@ impl Registry {
         &self.slots[idx]
     }
 
+    /// Hints the CPU to pull slot `idx`'s first cache-line pair into L1.
+    ///
+    /// The scan kernel (`scan.rs`) issues this for the slots named by the
+    /// summary-map word *ahead* of its cursor, so by the time the scan
+    /// reaches them the `tx_status`/`priority` line is already resident.
+    /// Purely a hint: no-op on non-x86 targets and never a data access,
+    /// so it is safe to issue for any in-bounds index regardless of the
+    /// slot's state.
+    #[inline]
+    pub fn prefetch_slot(&self, idx: usize) {
+        debug_assert!(idx < self.slots.len());
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: prefetch is a hint; the pointer is in-bounds and the
+        // intrinsic performs no memory access observable by the program.
+        unsafe {
+            use core::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+            _mm_prefetch::<_MM_HINT_T0>(&raw const self.slots[idx] as *const i8);
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = idx;
+    }
+
     /// Iterates over all slots with their indices (server scan order).
     pub fn iter(&self) -> impl Iterator<Item = (usize, &TxSlot)> {
         self.slots.iter().enumerate().map(|(i, s)| (i, &**s))

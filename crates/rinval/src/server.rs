@@ -43,7 +43,11 @@
 //! before `TX_ALIVE`, cleared after `TX_IDLE`) guarantee that a bitmap
 //! scan observes every request/transaction the corresponding full walk
 //! would have — the `registry` module docs give the `SeqCst` total-order
-//! argument. Scan work is recorded in [`crate::stats::ServerCounters`].
+//! argument. Every walk goes through the shared scan kernel
+//! ([`crate::scan::scan`]), which adds slot prefetch from the word ahead
+//! of the cursor and records scan work uniformly in
+//! [`crate::stats::ServerCounters`] (see `scan.rs` for the accounting
+//! contract).
 //!
 //! ## Batched commits (V1)
 //!
@@ -98,9 +102,11 @@ use crate::registry::{
     precedes, NO_IRREVOCABLE_HOLDER, REQ_ABORTED, REQ_CLAIMED, REQ_COMMITTED, REQ_IDLE,
     REQ_IRREVOCABLE, REQ_PENDING, TX_ALIVE, TX_INVALIDATED,
 };
+use crate::scan::{scan, ScanKind};
 use crate::stats::ServerCounters;
 use crate::sync::Backoff;
 use crate::{AlgorithmKind, StmInner};
+use std::ops::ControlFlow;
 use std::sync::atomic::{fence, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -163,28 +169,26 @@ fn invalidate_conflicting(
     committer: Option<usize>,
 ) {
     let st = &stm.server_stats;
-    ServerCounters::add(&st.inval_scans, 1);
     let home = committer
         .filter(|_| stm.registry.num_domains() > 1)
         .map(|c| stm.registry.domain_of(c));
-    let mut visited = 0u64;
     let mut doomed = 0u64;
     let mut cross = 0u64;
-    let mut words = 0u64;
-    let mut scan_words = |range: std::ops::Range<usize>| {
-        words += (range.end - range.start) as u64;
-        for i in stm.registry.live().iter_set_bits_in(range) {
-            if mask_get(skip_mask, i) {
-                continue;
-            }
-            if let Some(k) = server {
-                if stm.inval_server_of(i) != k {
-                    continue;
-                }
-            }
-            visited += 1;
-            let slot = stm.registry.slot(i);
-            if slot.is_live() && slot.read_bf.intersects_plain(wbf) {
+    // Index the committer's write signature once for the whole scan; each
+    // live reader is then tested with the sparse intersection, loading
+    // only `wbf`'s non-zero words instead of sweeping all 256.
+    let nz = wbf.nonzero_words();
+    let _ = scan(
+        &stm.registry,
+        st,
+        stm.registry.live(),
+        ScanKind::Inval,
+        stm.served_word_ranges(server),
+        // Skip-mask and partition skips are index-level and uncounted;
+        // everything delivered below is an examined slot.
+        |i| !mask_get(skip_mask, i) && server.is_none_or(|k| stm.inval_server_of(i) == k),
+        |i, slot| {
+            if slot.is_live() && slot.read_bf.intersects_plain_sparse(wbf, &nz) {
                 // CAS (not store) so an already-idle slot is never marked:
                 // the server must not leak an INVALIDATED flag into a slot
                 // that has since been recycled to a different thread.
@@ -204,18 +208,9 @@ fn invalidate_conflicting(
                     }
                 }
             }
-        }
-    };
-    match server {
-        Some(k) => {
-            for d in stm.served_domains(k) {
-                scan_words(stm.registry.domain_word_range(d));
-            }
-        }
-        None => scan_words(0..stm.registry.live().words_len()),
-    }
-    ServerCounters::add(&st.inval_slots_visited, visited);
-    ServerCounters::add(&st.inval_words_scanned, words);
+            ControlFlow::Continue(())
+        },
+    );
     if doomed != 0 {
         ServerCounters::add(&st.txs_doomed, doomed);
     }
@@ -281,26 +276,26 @@ fn census_refusal(stm: &StmInner, wbf: &Bloom, c_idx: usize, pc: u32) -> Option<
     if budget == u32::MAX && stm.priority_ceiling.load(Ordering::SeqCst) == 0 {
         return None;
     }
-    let st = &stm.server_stats;
-    ServerCounters::add(&st.census_scans, 1);
-    let mut visited = 0u64;
     let mut total = 0u32;
     let mut max_pv = 0u32;
     let mut preceding = false;
-    for i in stm.registry.live().iter_set_bits() {
-        if i == c_idx {
-            continue;
-        }
-        visited += 1;
-        let slot = stm.registry.slot(i);
-        if slot.is_live() && slot.read_bf.intersects_plain(wbf) {
-            total += 1;
-            let pv = slot.priority.load(Ordering::SeqCst);
-            max_pv = max_pv.max(pv);
-            preceding |= precedes(pv, i, pc, c_idx);
-        }
-    }
-    ServerCounters::add(&st.inval_slots_visited, visited);
+    let _ = scan(
+        &stm.registry,
+        &stm.server_stats,
+        stm.registry.live(),
+        ScanKind::Census,
+        stm.served_word_ranges(None),
+        |i| i != c_idx,
+        |i, slot| {
+            if slot.is_live() && slot.read_bf.intersects_plain(wbf) {
+                total += 1;
+                let pv = slot.priority.load(Ordering::SeqCst);
+                max_pv = max_pv.max(pv);
+                preceding |= precedes(pv, i, pc, c_idx);
+            }
+            ControlFlow::Continue(())
+        },
+    );
     if preceding && (max_pv > pc || total > budget) {
         Some(max_pv + 1)
     } else {
@@ -323,17 +318,24 @@ fn refuse_request(stm: &StmInner, i: usize, inherit: u32) {
 /// [`REQ_IRREVOCABLE`] state that precedes every other requester — if any.
 fn token_request(stm: &StmInner) -> Option<usize> {
     let mut best: Option<(u32, usize)> = None;
-    for i in stm.registry.pending().iter_set_bits() {
-        let slot = stm.registry.slot(i);
-        if slot.request_state.load(Ordering::SeqCst) != REQ_IRREVOCABLE {
-            continue;
-        }
-        let pv = slot.priority.load(Ordering::SeqCst);
-        best = match best {
-            Some((bp, bi)) if !precedes(pv, i, bp, bi) => Some((bp, bi)),
-            _ => Some((pv, i)),
-        };
-    }
+    let _ = scan(
+        &stm.registry,
+        &stm.server_stats,
+        stm.registry.pending(),
+        ScanKind::Quiet,
+        stm.served_word_ranges(None),
+        |_| true,
+        |i, slot| {
+            if slot.request_state.load(Ordering::SeqCst) == REQ_IRREVOCABLE {
+                let pv = slot.priority.load(Ordering::SeqCst);
+                best = match best {
+                    Some((bp, bi)) if !precedes(pv, i, bp, bi) => Some((bp, bi)),
+                    _ => Some((pv, i)),
+                };
+            }
+            ControlFlow::Continue(())
+        },
+    );
     best.map(|(_, i)| i)
 }
 
@@ -464,72 +466,89 @@ pub(crate) fn commit_server_v1(stm: &StmInner) {
         batch_wbf.clear();
         batch_rbf.clear();
         batch_mask.iter_mut().for_each(|w| *w = 0);
-        for i in stm.registry.pending().iter_set_bits() {
-            if holder.is_some_and(|h| h != i) {
-                continue;
-            }
-            ServerCounters::add(&st.slots_visited, 1);
-            let slot = stm.registry.slot(i);
-            // Line 14, hardened: *claim* the request rather than just
-            // observing it. A set pending bit was published after the
-            // client's SeqCst store of REQ_PENDING, so the successful CAS
-            // doubles as the acquire of the request payload — and from
-            // here until we answer (or revert), no concurrent withdrawal
-            // can retract the payload out from under us.
-            if slot
-                .request_state
-                .compare_exchange(REQ_PENDING, REQ_CLAIMED, Ordering::SeqCst, Ordering::SeqCst)
-                .is_err()
-            {
-                continue;
-            }
-            // Line 15: the client may have been invalidated by a commit we
-            // processed after it went PENDING; checking *before* bumping the
-            // timestamp saves a useless version bump (paper §IV-A) — and
-            // keeps invariant 1 of the module docs: a slot still CLAIMED at
-            // an odd timestamp has passed this check.
-            if slot.tx_status.load(Ordering::SeqCst) == TX_INVALIDATED {
-                stm.registry.pending().clear(i);
-                slot.request_state.store(REQ_ABORTED, Ordering::SeqCst);
-                answered = true;
-                continue;
-            }
-            slot.req_write_bf.load_into(&mut wbf);
-            // Admission census (§13): priority/budget refusal, checked per
-            // request at admission so batching preserves the per-commit
-            // budget. The token holder bypasses it — its commit must never
-            // be refused or the grant's progress guarantee is void.
-            if holder != Some(i) {
-                let pc = slot.priority.load(Ordering::SeqCst);
-                if let Some(inherit) = census_refusal(stm, &wbf, i, pc) {
-                    stm.registry.pending().clear(i);
-                    refuse_request(stm, i, inherit);
-                    answered = true;
-                    continue;
+        let _ = scan(
+            &stm.registry,
+            st,
+            stm.registry.pending(),
+            ScanKind::Admission,
+            stm.served_word_ranges(None),
+            // While a token holder exists only its own requests are served;
+            // the skip is uncounted, like the partition skips elsewhere.
+            |i| holder.is_none_or(|h| h == i),
+            |i, slot| {
+                // Line 14, hardened: *claim* the request rather than just
+                // observing it. A set pending bit was published after the
+                // client's SeqCst store of REQ_PENDING, so the successful
+                // CAS doubles as the acquire of the request payload — and
+                // from here until we answer (or revert), no concurrent
+                // withdrawal can retract the payload out from under us.
+                if slot
+                    .request_state
+                    .compare_exchange(
+                        REQ_PENDING,
+                        REQ_CLAIMED,
+                        Ordering::SeqCst,
+                        Ordering::SeqCst,
+                    )
+                    .is_err()
+                {
+                    return ControlFlow::Continue(());
                 }
-            }
-            // Batch admission: fully independent of every member, or stay
-            // pending and serialize behind this batch on a later pass. The
-            // claim is reverted (bit still set), re-opening the withdrawal
-            // window for the client.
-            if !batch.is_empty()
-                && (wbf.intersects(&batch_wbf)
-                    || batch_rbf.intersects(&wbf)
-                    || slot.read_bf.intersects_plain(&batch_wbf))
-            {
-                slot.request_state.store(REQ_PENDING, Ordering::SeqCst);
-                continue;
-            }
-            stm.registry.pending().clear(i);
-            batch_wbf.union_with(&wbf);
-            slot.read_bf.or_into(&mut batch_rbf);
-            mask_set(&mut batch_mask, i);
-            batch.push((
-                i,
-                slot.req_ws_ptr.load(Ordering::Relaxed),
-                slot.req_ws_len.load(Ordering::Relaxed),
-            ));
-        }
+                // Line 15: the client may have been invalidated by a commit
+                // we processed after it went PENDING; checking *before*
+                // bumping the timestamp saves a useless version bump (paper
+                // §IV-A) — and keeps invariant 1 of the module docs: a slot
+                // still CLAIMED at an odd timestamp has passed this check.
+                if slot.tx_status.load(Ordering::SeqCst) == TX_INVALIDATED {
+                    stm.registry.pending().clear(i);
+                    slot.request_state.store(REQ_ABORTED, Ordering::SeqCst);
+                    answered = true;
+                    return ControlFlow::Continue(());
+                }
+                // Fused admission pass: one sweep of the request's write
+                // signature snapshots it into `wbf` *and* answers both
+                // batch-independence intersections (write-write against the
+                // merged writes, write-read against the merged reads) —
+                // previously three separate 256-word walks.
+                let (hits_w, hits_r) =
+                    slot.req_write_bf
+                        .snapshot_intersect2(&mut wbf, &batch_wbf, &batch_rbf);
+                // Admission census (§13): priority/budget refusal, checked
+                // per request at admission so batching preserves the
+                // per-commit budget. The token holder bypasses it — its
+                // commit must never be refused or the grant's progress
+                // guarantee is void.
+                if holder != Some(i) {
+                    let pc = slot.priority.load(Ordering::SeqCst);
+                    if let Some(inherit) = census_refusal(stm, &wbf, i, pc) {
+                        stm.registry.pending().clear(i);
+                        refuse_request(stm, i, inherit);
+                        answered = true;
+                        return ControlFlow::Continue(());
+                    }
+                }
+                // Batch admission: fully independent of every member, or
+                // stay pending and serialize behind this batch on a later
+                // pass. The claim is reverted (bit still set), re-opening
+                // the withdrawal window for the client.
+                if !batch.is_empty()
+                    && (hits_w || hits_r || slot.read_bf.intersects_plain(&batch_wbf))
+                {
+                    slot.request_state.store(REQ_PENDING, Ordering::SeqCst);
+                    return ControlFlow::Continue(());
+                }
+                stm.registry.pending().clear(i);
+                batch_wbf.union_with(&wbf);
+                slot.read_bf.or_into(&mut batch_rbf);
+                mask_set(&mut batch_mask, i);
+                batch.push((
+                    i,
+                    slot.req_ws_ptr.load(Ordering::Relaxed),
+                    slot.req_ws_len.load(Ordering::Relaxed),
+                ));
+                ControlFlow::Continue(())
+            },
+        );
         if !batch.is_empty() {
             // Line 18: enter the odd (commit-in-flight) phase — once for
             // the whole batch. Plain store: this thread is the timestamp's
@@ -622,100 +641,120 @@ pub(crate) fn commit_server_v2(stm: &StmInner) {
                 }
             }
         }
-        for i in stm.registry.pending().iter_set_bits() {
-            if holder.is_some_and(|h| h != i) {
-                continue;
-            }
-            ServerCounters::add(&st.slots_visited, 1);
-            let slot = stm.registry.slot(i);
-            // Cheap pre-filter; the authoritative pickup is the CAS below.
-            if slot.request_state.load(Ordering::SeqCst) != REQ_PENDING {
-                continue;
-            }
-            let t = stm.timestamp.load(Ordering::Relaxed);
-            // Algorithm 4, line 2: only take a request whose own
-            // invalidation-server has processed every prior commit —
-            // otherwise the tx_status check below would not be
-            // authoritative. Under domain sharding `inval_server_of` maps
-            // the slot to the server covering its *domain*, so this is a
-            // per-domain lag check: a lagging domain only defers its own
-            // requests, never strands another domain's. (In V2 the global
-            // wait below implies this; checking first lets V3 skip past a
-            // stalled partition.) The
-            // request stays pending and is *not* counted as progress:
-            // treating a lagging partition as "found" work would keep the
-            // server hot-spinning with no backoff while contributing
-            // nothing.
-            let req_server = stm.inval_server_of(i);
-            if stm.inval_ts[req_server].load(Ordering::SeqCst) < t {
-                continue;
-            }
-            // Algorithm 3 line 7 / Algorithm 4 line 5: wait until no
-            // invalidation-server lags more than `steps_ahead` commits, so
-            // the ring slot we are about to overwrite has been consumed.
-            // The request is still PENDING here (withdrawable); we keep
-            // beating so a lagging *invalidator* — not this seat — is what
-            // the watchdog sees as stalled.
-            let mut bk = Backoff::new();
-            for k in 0..nk {
-                while t.saturating_sub(stm.inval_ts[k].load(Ordering::SeqCst)) > stm.steps_ahead_ts
-                {
-                    if stm.shutdown.load(Ordering::SeqCst) || stm.degraded.load(Ordering::SeqCst)
+        let flow = scan(
+            &stm.registry,
+            st,
+            stm.registry.pending(),
+            ScanKind::Admission,
+            stm.served_word_ranges(None),
+            // Token-holder exclusivity, uncounted like every index-level
+            // skip.
+            |i| holder.is_none_or(|h| h == i),
+            |i, slot| {
+                // Cheap pre-filter; the authoritative pickup is the CAS
+                // below.
+                if slot.request_state.load(Ordering::SeqCst) != REQ_PENDING {
+                    return ControlFlow::Continue(());
+                }
+                let t = stm.timestamp.load(Ordering::Relaxed);
+                // Algorithm 4, line 2: only take a request whose own
+                // invalidation-server has processed every prior commit —
+                // otherwise the tx_status check below would not be
+                // authoritative. Under domain sharding `inval_server_of`
+                // maps the slot to the server covering its *domain*, so
+                // this is a per-domain lag check: a lagging domain only
+                // defers its own requests, never strands another domain's.
+                // (In V2 the global wait below implies this; checking first
+                // lets V3 skip past a stalled partition.) The request stays
+                // pending and is *not* counted as progress: treating a
+                // lagging partition as "found" work would keep the server
+                // hot-spinning with no backoff while contributing nothing.
+                let req_server = stm.inval_server_of(i);
+                if stm.inval_ts[req_server].load(Ordering::SeqCst) < t {
+                    return ControlFlow::Continue(());
+                }
+                // Algorithm 3 line 7 / Algorithm 4 line 5: wait until no
+                // invalidation-server lags more than `steps_ahead` commits,
+                // so the ring slot we are about to overwrite has been
+                // consumed. The request is still PENDING here
+                // (withdrawable); we keep beating so a lagging
+                // *invalidator* — not this seat — is what the watchdog sees
+                // as stalled.
+                let mut bk = Backoff::new();
+                for k in 0..nk {
+                    while t.saturating_sub(stm.inval_ts[k].load(Ordering::SeqCst))
+                        > stm.steps_ahead_ts
                     {
-                        break 'scan;
+                        if stm.shutdown.load(Ordering::SeqCst)
+                            || stm.degraded.load(Ordering::SeqCst)
+                        {
+                            return ControlFlow::Break(());
+                        }
+                        hb.beat();
+                        bk.snooze();
                     }
-                    hb.beat();
-                    bk.snooze();
                 }
-            }
-            // Pickup (see the module docs): the CAS makes us the request's
-            // sole owner; a failure means the client withdrew it.
-            if slot
-                .request_state
-                .compare_exchange(REQ_PENDING, REQ_CLAIMED, Ordering::SeqCst, Ordering::SeqCst)
-                .is_err()
-            {
-                continue;
-            }
-            stm.registry.pending().clear(i);
-            answered = true;
-            // Algorithm 3, lines 9–10: authoritative invalidation check.
-            if slot.tx_status.load(Ordering::SeqCst) == TX_INVALIDATED {
-                slot.request_state.store(REQ_ABORTED, Ordering::SeqCst);
-                continue;
-            }
-            // Algorithm 3 line 12 / Algorithm 4 line 8: hand the write
-            // signature (and the requester's identity, so invalidators can
-            // skip it — a read-modify-write transaction always intersects
-            // its own read signature) to the invalidation-servers via the
-            // ring slot for commit number t/2.
-            slot.req_write_bf.load_into(&mut wbf);
-            // Admission census (§13): the commit-server applies the
-            // priority/budget refusal itself before involving the
-            // invalidation-servers. The token holder bypasses it.
-            if holder != Some(i) {
-                let pc = slot.priority.load(Ordering::SeqCst);
-                if let Some(inherit) = census_refusal(stm, &wbf, i, pc) {
-                    refuse_request(stm, i, inherit);
-                    continue;
+                // Pickup (see the module docs): the CAS makes us the
+                // request's sole owner; a failure means the client withdrew
+                // it.
+                if slot
+                    .request_state
+                    .compare_exchange(
+                        REQ_PENDING,
+                        REQ_CLAIMED,
+                        Ordering::SeqCst,
+                        Ordering::SeqCst,
+                    )
+                    .is_err()
+                {
+                    return ControlFlow::Continue(());
                 }
-            }
-            let ring_idx = ((t / 2) % ring) as usize;
-            stm.commit_ring[ring_idx].store_from(&wbf);
-            stm.commit_req[ring_idx].store(i, Ordering::Relaxed);
-            let ptr = slot.req_ws_ptr.load(Ordering::Relaxed);
-            let len = slot.req_ws_len.load(Ordering::Relaxed);
-            // Algorithm 3, line 13: entering the odd phase *is* the signal
-            // that starts the invalidation-servers on this commit.
-            stm.timestamp.store(t + 1, Ordering::SeqCst);
-            fence(Ordering::SeqCst);
-            // Line 14: write-back runs in parallel with invalidation.
-            unsafe {
-                write_back(stm, ptr, len, t + 2);
-                tally_commit_domains(stm, i, ptr, len);
-            }
-            stm.timestamp.store(t + 2, Ordering::SeqCst);
-            slot.request_state.store(REQ_COMMITTED, Ordering::SeqCst);
+                stm.registry.pending().clear(i);
+                answered = true;
+                // Algorithm 3, lines 9–10: authoritative invalidation check.
+                if slot.tx_status.load(Ordering::SeqCst) == TX_INVALIDATED {
+                    slot.request_state.store(REQ_ABORTED, Ordering::SeqCst);
+                    return ControlFlow::Continue(());
+                }
+                // Algorithm 3 line 12 / Algorithm 4 line 8: hand the write
+                // signature (and the requester's identity, so invalidators
+                // can skip it — a read-modify-write transaction always
+                // intersects its own read signature) to the
+                // invalidation-servers via the ring slot for commit number
+                // t/2.
+                slot.req_write_bf.load_into(&mut wbf);
+                // Admission census (§13): the commit-server applies the
+                // priority/budget refusal itself before involving the
+                // invalidation-servers. The token holder bypasses it.
+                if holder != Some(i) {
+                    let pc = slot.priority.load(Ordering::SeqCst);
+                    if let Some(inherit) = census_refusal(stm, &wbf, i, pc) {
+                        refuse_request(stm, i, inherit);
+                        return ControlFlow::Continue(());
+                    }
+                }
+                let ring_idx = ((t / 2) % ring) as usize;
+                stm.commit_ring[ring_idx].store_from(&wbf);
+                stm.commit_req[ring_idx].store(i, Ordering::Relaxed);
+                let ptr = slot.req_ws_ptr.load(Ordering::Relaxed);
+                let len = slot.req_ws_len.load(Ordering::Relaxed);
+                // Algorithm 3, line 13: entering the odd phase *is* the
+                // signal that starts the invalidation-servers on this
+                // commit.
+                stm.timestamp.store(t + 1, Ordering::SeqCst);
+                fence(Ordering::SeqCst);
+                // Line 14: write-back runs in parallel with invalidation.
+                unsafe {
+                    write_back(stm, ptr, len, t + 2);
+                    tally_commit_domains(stm, i, ptr, len);
+                }
+                stm.timestamp.store(t + 2, Ordering::SeqCst);
+                slot.request_state.store(REQ_COMMITTED, Ordering::SeqCst);
+                ControlFlow::Continue(())
+            },
+        );
+        if flow.is_break() {
+            break 'scan;
         }
         if answered {
             idle.reset();
@@ -836,31 +875,40 @@ pub(crate) fn withdraw_request(stm: &StmInner, idx: usize) -> Option<bool> {
 /// the same CAS the servers use, so a concurrent client withdrawal stays
 /// race-free (exactly one side owns the request).
 pub(crate) fn drain_requests_abort(stm: &StmInner) {
-    for i in stm.registry.pending().iter_set_bits() {
-        let slot = stm.registry.slot(i);
-        // Token requests are drained too (direct `IRREVOCABLE → ABORTED`;
-        // no server claims them, so no CLAIMED intermediate is needed) —
-        // a client spinning for a grant no server will ever issue must be
-        // woken just like one spinning for a commit verdict.
-        if slot
-            .request_state
-            .compare_exchange(REQ_PENDING, REQ_CLAIMED, Ordering::SeqCst, Ordering::SeqCst)
-            .is_ok()
-            || slot
+    let _ = scan(
+        &stm.registry,
+        &stm.server_stats,
+        stm.registry.pending(),
+        ScanKind::Quiet,
+        stm.served_word_ranges(None),
+        |_| true,
+        |i, slot| {
+            // Token requests are drained too (direct `IRREVOCABLE →
+            // ABORTED`; no server claims them, so no CLAIMED intermediate
+            // is needed) — a client spinning for a grant no server will
+            // ever issue must be woken just like one spinning for a commit
+            // verdict.
+            if slot
                 .request_state
-                .compare_exchange(
-                    REQ_IRREVOCABLE,
-                    REQ_CLAIMED,
-                    Ordering::SeqCst,
-                    Ordering::SeqCst,
-                )
+                .compare_exchange(REQ_PENDING, REQ_CLAIMED, Ordering::SeqCst, Ordering::SeqCst)
                 .is_ok()
-        {
-            stm.registry.pending().clear(i);
-            slot.request_state.store(REQ_ABORTED, Ordering::SeqCst);
-            ServerCounters::add(&stm.server_stats.drained_requests, 1);
-        }
-    }
+                || slot
+                    .request_state
+                    .compare_exchange(
+                        REQ_IRREVOCABLE,
+                        REQ_CLAIMED,
+                        Ordering::SeqCst,
+                        Ordering::SeqCst,
+                    )
+                    .is_ok()
+            {
+                stm.registry.pending().clear(i);
+                slot.request_state.store(REQ_ABORTED, Ordering::SeqCst);
+                ServerCounters::add(&stm.server_stats.drained_requests, 1);
+            }
+            ControlFlow::Continue(())
+        },
+    );
 }
 
 /// Re-derives a consistent protocol state after a commit-server died with
@@ -891,11 +939,9 @@ pub(crate) fn recover_inflight(stm: &StmInner) {
         .collect();
     if t & 1 == 1 {
         let mut merged = Bloom::new();
-        let mut wbf = Bloom::new();
         let mut mask: Vec<u64> = vec![0; stm.registry.len().div_ceil(64)];
         for &i in &claimed {
-            stm.registry.slot(i).req_write_bf.load_into(&mut wbf);
-            merged.union_with(&wbf);
+            stm.registry.slot(i).req_write_bf.or_into(&mut merged);
             mask_set(&mut mask, i);
         }
         fence(Ordering::SeqCst);

@@ -105,9 +105,14 @@ pub struct ServerCounters {
     /// Commit-admission census walks over the `live` summary map
     /// (DESIGN.md §13). Counted apart from `inval_scans` so
     /// `inval_words_scanned / inval_scans` stays an exact per-scan word
-    /// footprint — a census walk dooms nothing and records no word
-    /// traffic, and how often aging arms it depends on contention timing.
+    /// footprint — a census walk dooms nothing, its word traffic lands in
+    /// `census_words_scanned`, and how often aging arms it depends on
+    /// contention timing.
     pub census_scans: AtomicU64,
+    /// Summary-bitmap words examined by census walks — the census-side
+    /// twin of `inval_words_scanned`, recorded by the shared scan kernel
+    /// (`scan.rs`) so all scan sites account word traffic identically.
+    pub census_words_scanned: AtomicU64,
     /// V1 commit batches processed (each batch = one timestamp bump).
     pub batches: AtomicU64,
     /// Commit requests answered through batches (`batched_requests /
@@ -203,6 +208,7 @@ impl ServerCounters {
             inval_scans: self.inval_scans.load(Ordering::Relaxed),
             inval_slots_visited: self.inval_slots_visited.load(Ordering::Relaxed),
             census_scans: self.census_scans.load(Ordering::Relaxed),
+            census_words_scanned: self.census_words_scanned.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
             batched_requests: self.batched_requests.load(Ordering::Relaxed),
             heartbeat_misses: self.heartbeat_misses.load(Ordering::Relaxed),
@@ -242,8 +248,11 @@ pub struct ServerStats {
     pub inval_scans: u64,
     /// Slots examined by invalidation and census scans.
     pub inval_slots_visited: u64,
-    /// Commit-admission census walks (doom nothing, touch no words).
+    /// Commit-admission census walks (doom nothing; their word traffic is
+    /// `census_words_scanned`).
     pub census_scans: u64,
+    /// Summary-bitmap words examined by census walks.
+    pub census_words_scanned: u64,
     /// V1 commit batches processed.
     pub batches: u64,
     /// Commit requests answered through batches.
@@ -321,6 +330,17 @@ impl ServerStats {
         }
     }
 
+    /// Mean summary-bitmap words examined per census walk — same footprint
+    /// metric as [`ServerStats::words_per_inval_scan`], for the census
+    /// flavour of the kernel scan.
+    pub fn words_per_census_scan(&self) -> f64 {
+        if self.census_scans == 0 {
+            0.0
+        } else {
+            self.census_words_scanned as f64 / self.census_scans as f64
+        }
+    }
+
     /// Mean V1 batch size (1.0 when every bump served a single request).
     pub fn mean_batch_size(&self) -> f64 {
         if self.batches == 0 {
@@ -340,6 +360,7 @@ impl ServerStats {
             inval_scans: self.inval_scans - earlier.inval_scans,
             inval_slots_visited: self.inval_slots_visited - earlier.inval_slots_visited,
             census_scans: self.census_scans - earlier.census_scans,
+            census_words_scanned: self.census_words_scanned - earlier.census_words_scanned,
             batches: self.batches - earlier.batches,
             batched_requests: self.batched_requests - earlier.batched_requests,
             heartbeat_misses: self.heartbeat_misses - earlier.heartbeat_misses,
@@ -622,6 +643,23 @@ mod tests {
         assert_eq!(d.local_commits, 0);
         assert_eq!(d.cross_domain_invalidations, 0);
         assert_eq!(d.inval_words_scanned, 0);
+    }
+
+    #[test]
+    fn census_word_counters_snapshot_and_since() {
+        let c = ServerCounters::default();
+        ServerCounters::add(&c.census_scans, 4);
+        ServerCounters::add(&c.census_words_scanned, 10);
+        let s = c.snapshot();
+        assert_eq!(s.census_scans, 4);
+        assert_eq!(s.census_words_scanned, 10);
+        assert!((s.words_per_census_scan() - 2.5).abs() < 1e-12);
+        assert_eq!(ServerStats::default().words_per_census_scan(), 0.0);
+
+        ServerCounters::add(&c.census_words_scanned, 6);
+        let d = c.snapshot().since(&s);
+        assert_eq!(d.census_scans, 0);
+        assert_eq!(d.census_words_scanned, 6);
     }
 
     #[test]

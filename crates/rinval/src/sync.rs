@@ -166,6 +166,18 @@ impl AtomicBitmap {
         }
     }
 
+    /// Loads word `w` (64 bits) of the bitmap, `SeqCst`.
+    ///
+    /// This is the scan kernel's primitive (`scan.rs`): walking words
+    /// directly — rather than through [`AtomicBitmap::iter_set_bits_in`] —
+    /// lets the kernel look one word ahead of its cursor and prefetch the
+    /// registry slots it is about to visit. Same per-word snapshot
+    /// semantics as the iterators.
+    #[inline]
+    pub fn load_word(&self, w: usize) -> u64 {
+        self.words[w].load(Ordering::SeqCst)
+    }
+
     /// Number of 64-bit words backing the bitmap.
     pub fn words_len(&self) -> usize {
         self.words.len()
@@ -398,6 +410,17 @@ mod tests {
         );
         assert_eq!(bm.iter_set_bits_in(2..2).count(), 0);
         assert_eq!(bm.words_len(), 4);
+    }
+
+    #[test]
+    fn bitmap_load_word_matches_bits() {
+        let bm = AtomicBitmap::new(130);
+        for i in [0usize, 63, 64, 129] {
+            bm.set(i);
+        }
+        assert_eq!(bm.load_word(0), 1 | (1u64 << 63));
+        assert_eq!(bm.load_word(1), 1);
+        assert_eq!(bm.load_word(2), 2);
     }
 
     #[test]

@@ -8,6 +8,12 @@
 //! [`crate::StmBuilder::build`] time fixes the sharding geometry for the
 //! instance's lifetime.
 //!
+//! The registry rounds each domain's slot group up to whole 64-bit
+//! summary-map words ([`crate::registry::Registry::domain_word_range`]),
+//! which is what lets the scan kernel ([`crate::scan::scan`]) walk a
+//! server's served domains as plain word ranges with no per-slot domain
+//! test on the hot path.
+//!
 //! Resolution order (`Topology::resolve`):
 //!
 //! 1. an explicit [`crate::StmBuilder::topology`] override;

@@ -1,7 +1,7 @@
 //! Command-line runner for the STAMP-like applications.
 //!
 //! ```sh
-//! cargo run --release -p stamp --bin stamp_runner -- <app> [algorithm] [threads] [--latency] [--topology]
+//! cargo run --release -p stamp --bin stamp_runner -- <app> [algorithm] [threads] [--latency] [--topology] [--phases]
 //! cargo run --release -p stamp --bin stamp_runner -- all rinval-v2 4
 //! ```
 //!
@@ -14,6 +14,10 @@
 //! cross-domain commits, cross-domain invalidations and per-domain heap
 //! occupancy (geometry comes from `RINVAL_TOPOLOGY`; without it the
 //! instance is single-domain and everything is local by construction).
+//! `--phases` enables the opt-in phase profiler and prints where the
+//! transactions' time went — the validation/commit/other split of the
+//! paper's Figure 2, with the commit share being the critical-path
+//! fraction the scan-kernel work targets.
 
 use rinval::{AlgorithmKind, Stm};
 use stamp::App;
@@ -22,10 +26,11 @@ fn parse_app(name: &str) -> Option<App> {
     App::ALL.into_iter().find(|a| a.name() == name)
 }
 
-fn run_one(app: App, algo: AlgorithmKind, threads: usize, latency: bool, topology: bool) {
+fn run_one(app: App, algo: AlgorithmKind, threads: usize, latency: bool, topology: bool, phases: bool) {
     let stm = Stm::builder(algo)
         .heap_words(app.default_heap_words())
         .latency_histogram(latency)
+        .profile(phases)
         .build();
     let (report, verdict) = app.run_small(&stm, threads);
     let status = match verdict {
@@ -91,6 +96,20 @@ fn run_one(app: App, algo: AlgorithmKind, threads: usize, latency: bool, topolog
             occupancy.join(" "),
         );
     }
+    if phases {
+        // Per-thread shares: the wall clock ran once for each of the
+        // `threads` workers, so the phase durations are normalized
+        // against `wall × threads` (the figure2 convention).
+        let (validation, commit, other) = report.stats.breakdown(report.wall * threads as u32);
+        println!(
+            "{:>10} {:>10} phases[validation={:.1}% commit={:.1}% other={:.1}%]",
+            app.name(),
+            algo.name(),
+            validation * 100.0,
+            commit * 100.0,
+            other * 100.0,
+        );
+    }
     if latency {
         let st = stm.server_stats();
         let fmt = |q: f64| {
@@ -116,6 +135,8 @@ fn main() {
     args.retain(|a| a != "--latency");
     let topology = args.iter().any(|a| a == "--topology");
     args.retain(|a| a != "--topology");
+    let phases = args.iter().any(|a| a == "--phases");
+    args.retain(|a| a != "--phases");
     let app_arg = args.get(1).map(String::as_str).unwrap_or("all");
     // The canonical parser lives on AlgorithmKind (FromStr); its error
     // already lists AlgorithmKind::NAMES and the parameter syntax.
@@ -130,10 +151,10 @@ fn main() {
 
     if app_arg == "all" {
         for app in App::ALL {
-            run_one(app, algo, threads, latency, topology);
+            run_one(app, algo, threads, latency, topology, phases);
         }
     } else if let Some(app) = parse_app(app_arg) {
-        run_one(app, algo, threads, latency, topology);
+        run_one(app, algo, threads, latency, topology, phases);
     } else {
         eprintln!(
             "unknown app '{app_arg}'; choose from all, {}",
