@@ -1,0 +1,75 @@
+//! svc_latency — end-to-end request latency through the service
+//! front-end: the number a *client* of the system observes, which is the
+//! critical path the paper optimizes (§III) plus everything the service
+//! layer adds (mailbox hop, dedup-window transaction, reply delivery).
+//!
+//! Runs the closed-loop generator briefly per algorithm and prints one
+//! line per endpoint in the grep-stable format
+//! `endpoint=<name> executed=<n> p50=<ns>ns p99=<ns>ns`, followed by the
+//! ledger verdict. Exits non-zero if the run loses or duplicates a single
+//! operation — a perf harness that miscounts is not a perf harness.
+//!
+//! `--test` shrinks the run for the CI bench-smoke job, which greps the
+//! per-endpoint line to keep this surface wired.
+
+use rinval::{AlgorithmKind, Stm};
+use std::time::Duration;
+use svc::loadgen::{self, LoadConfig};
+use svc::{bank, SvcConfig};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--test");
+    let secs = if quick { 0.3 } else { 2.0 };
+    let algos = [
+        AlgorithmKind::NOrec,
+        AlgorithmKind::InvalStm,
+        AlgorithmKind::RInvalV2 { invalidators: 2 },
+        AlgorithmKind::RInvalV3 {
+            invalidators: 2,
+            steps_ahead: 2,
+        },
+        AlgorithmKind::RInvalMV {
+            invalidators: 2,
+            steps_ahead: 2,
+        },
+    ];
+    let mut failed = false;
+    for algo in algos {
+        println!("\n== svc end-to-end latency, algorithm {} ==", algo.name());
+        let stm = Stm::builder(algo).heap_words(1 << 18).build();
+        let service = bank::BankService::setup(&stm, 256, 10_000);
+        let svc_cfg = SvcConfig {
+            workers: 4,
+            clients: 32,
+            slo_p99: Duration::from_millis(50),
+            ..SvcConfig::default()
+        };
+        let cfg = LoadConfig {
+            clients: 8,
+            duration: Duration::from_secs_f64(secs),
+            timeout: Duration::from_millis(500),
+            write_pct: 50,
+            keys: 256,
+            zipf_s: 1.0,
+            seed: 0xBE4C,
+            ..LoadConfig::default()
+        };
+        let report = loadgen::run(&stm, &service, &svc_cfg, &cfg, &|_c, rng, hot, write| {
+            if write {
+                (bank::EP_TRANSFER, [hot, rng.below(256), 1 + rng.below(50), 0])
+            } else if rng.below(10) == 0 {
+                (bank::EP_AUDIT, [0; 4])
+            } else {
+                (bank::EP_BALANCE, [hot, 0, 0, 0])
+            }
+        });
+        report.print();
+        if !report.ledger_ok() || service.verify(&stm).is_err() {
+            eprintln!("svc_latency: ledger/conservation FAILED on {}", algo.name());
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

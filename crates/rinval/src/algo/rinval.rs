@@ -186,8 +186,15 @@ pub(crate) fn client_commit(tx: &mut Txn<'_>) -> TxResult<()> {
                             Some(true) => return Ok(()),
                             verdict => {
                                 if verdict.is_none() {
+                                    // The request was genuinely retracted
+                                    // at the deadline (no server verdict
+                                    // raced in): a timeout withdrawal.
                                     ServerCounters::add(
                                         &tx.stm.server_stats.timed_out_requests,
+                                        1,
+                                    );
+                                    ServerCounters::add(
+                                        &tx.stm.server_stats.timeout_withdrawals,
                                         1,
                                     );
                                 }

@@ -24,6 +24,14 @@
 //! | `txn.body.panic` | start of every transaction attempt's body | `panic` |
 //! | `txn.commit.panic` | inside commit, after the engine acquired the seqlock (NOrec/InvalSTM) or posted its request (RInval) | `panic` |
 //! | `heap.alloc.fail` | [`crate::Txn::alloc`], before touching the heap | `fail` |
+//! | `svc.enqueue` | service front-end, in the client submit path before the mailbox push | `fail` (reject), `exit` (accept-then-drop), `delay(ms)` |
+//! | `svc.reply.pre` | service worker, after a fresh write applied (committed) but before the reply is delivered | `panic` (worker dies), `exit` (reply dropped), `delay(ms)` |
+//! | `svc.worker.death` | service worker, top of its mailbox loop | `exit`, `panic` |
+//!
+//! The three `svc.*` sites are placed by the `svc` service crate (the
+//! `rinval` protocol itself never hits them); they live in this table so
+//! one `RINVAL_FAILPOINTS` spec can drive transaction-, server- and
+//! service-layer chaos together.
 //!
 //! ## Environment syntax
 //!
@@ -59,8 +67,14 @@ pub mod site {
     pub const TXN_COMMIT_PANIC: usize = 6;
     /// Transactional allocation reports heap exhaustion.
     pub const HEAP_ALLOC_FAIL: usize = 7;
+    /// Service front-end: client submit path, before the mailbox push.
+    pub const SVC_ENQUEUE: usize = 8;
+    /// Service worker: fresh write applied, reply not yet delivered.
+    pub const SVC_REPLY_PRE: usize = 9;
+    /// Service worker: top of its mailbox loop.
+    pub const SVC_WORKER_DEATH: usize = 10;
     /// Number of sites.
-    pub const COUNT: usize = 8;
+    pub const COUNT: usize = 11;
 }
 
 /// Canonical site names, indexed by the constants in [`site`].
@@ -73,6 +87,9 @@ pub const SITE_NAMES: [&str; site::COUNT] = [
     "txn.body.panic",
     "txn.commit.panic",
     "heap.alloc.fail",
+    "svc.enqueue",
+    "svc.reply.pre",
+    "svc.worker.death",
 ];
 
 /// What an armed failpoint does when hit.
@@ -230,10 +247,13 @@ mod imp {
                     .split_once('=')
                     .unwrap_or_else(|| panic!("RINVAL_FAILPOINTS: missing '=' in '{entry}'"));
                 let name = name.trim();
-                let idx = SITE_NAMES
-                    .iter()
-                    .position(|&n| n == name)
-                    .unwrap_or_else(|| panic!("RINVAL_FAILPOINTS: unknown site '{name}'"));
+                let idx = SITE_NAMES.iter().position(|&n| n == name).unwrap_or_else(|| {
+                    panic!(
+                        "RINVAL_FAILPOINTS: unknown site '{name}' in '{entry}' \
+                         (valid sites: {})",
+                        SITE_NAMES.join(", ")
+                    )
+                });
                 let (action_s, times) = match rest.rsplit_once(':') {
                     // `delay(5):3` splits on the last ':'; a non-numeric
                     // tail means the ':' belonged to nothing and the whole
@@ -259,7 +279,10 @@ mod imp {
                         });
                         FaultAction::Delay(Duration::from_millis(ms))
                     }
-                    _ => panic!("RINVAL_FAILPOINTS: unknown action '{action_s}'"),
+                    _ => panic!(
+                        "RINVAL_FAILPOINTS: unknown action '{action_s}' in '{entry}' \
+                         (valid actions: off, panic, exit, fail, stall, delay(<millis>))"
+                    ),
                 };
                 self.arm(idx, action, times);
             }
@@ -398,6 +421,21 @@ mod tests {
     #[should_panic(expected = "unknown site")]
     fn spec_unknown_site_panics() {
         FaultPlan::default().arm_from_spec("no.such.site=panic");
+    }
+
+    #[test]
+    fn spec_unknown_site_panic_lists_valid_sites_and_token() {
+        let err = std::panic::catch_unwind(|| {
+            FaultPlan::default().arm_from_spec("no.such.site=panic");
+        })
+        .expect_err("unknown site must panic");
+        let msg = err
+            .downcast_ref::<String>()
+            .expect("panic payload is a formatted string");
+        assert!(msg.contains("'no.such.site'"), "offending token missing: {msg}");
+        for name in SITE_NAMES {
+            assert!(msg.contains(name), "valid site '{name}' missing from: {msg}");
+        }
     }
 
     #[test]

@@ -128,6 +128,12 @@ pub struct ServerCounters {
     /// Client commit requests that hit a [`crate::TxError::Timeout`]
     /// deadline while waiting for a server verdict.
     pub timed_out_requests: AtomicU64,
+    /// Bounded runs cut short by their deadline: up-front fast-fails of
+    /// [`crate::ThreadHandle::try_run_for`] with an already-expired
+    /// deadline (no attempt runs, no backpressure gate entered) plus
+    /// posted commit requests a client retracted when its deadline
+    /// expired mid-wait.
+    pub timeout_withdrawals: AtomicU64,
     /// Posted requests withdrawn by clients (deadline, degradation or
     /// handle teardown) before a server claimed them.
     pub withdrawn_requests: AtomicU64,
@@ -215,6 +221,7 @@ impl ServerCounters {
             respawns: self.respawns.load(Ordering::Relaxed),
             degradations: self.degradations.load(Ordering::Relaxed),
             timed_out_requests: self.timed_out_requests.load(Ordering::Relaxed),
+            timeout_withdrawals: self.timeout_withdrawals.load(Ordering::Relaxed),
             withdrawn_requests: self.withdrawn_requests.load(Ordering::Relaxed),
             drained_requests: self.drained_requests.load(Ordering::Relaxed),
             txs_doomed: self.txs_doomed.load(Ordering::Relaxed),
@@ -265,6 +272,9 @@ pub struct ServerStats {
     pub degradations: u64,
     /// Client requests that hit their wait deadline.
     pub timed_out_requests: u64,
+    /// Bounded runs cut short at their deadline (up-front expired-deadline
+    /// fast-fails plus deadline-time request retractions).
+    pub timeout_withdrawals: u64,
     /// Posted requests withdrawn by clients before server pickup.
     pub withdrawn_requests: u64,
     /// Requests answered with aborts by shutdown/recovery drains.
@@ -367,6 +377,7 @@ impl ServerStats {
             respawns: self.respawns - earlier.respawns,
             degradations: self.degradations - earlier.degradations,
             timed_out_requests: self.timed_out_requests - earlier.timed_out_requests,
+            timeout_withdrawals: self.timeout_withdrawals - earlier.timeout_withdrawals,
             withdrawn_requests: self.withdrawn_requests - earlier.withdrawn_requests,
             drained_requests: self.drained_requests - earlier.drained_requests,
             txs_doomed: self.txs_doomed - earlier.txs_doomed,
@@ -425,6 +436,7 @@ impl ServerStats {
         self.respawns != 0
             || self.degradations != 0
             || self.timed_out_requests != 0
+            || self.timeout_withdrawals != 0
             || self.withdrawn_requests != 0
             || self.drained_requests != 0
     }
@@ -698,6 +710,7 @@ mod tests {
         ServerCounters::add(&c.respawns, 1);
         ServerCounters::add(&c.degradations, 1);
         ServerCounters::add(&c.timed_out_requests, 2);
+        ServerCounters::add(&c.timeout_withdrawals, 5);
         ServerCounters::add(&c.withdrawn_requests, 2);
         ServerCounters::add(&c.drained_requests, 4);
         let s = c.snapshot();
@@ -705,6 +718,7 @@ mod tests {
         assert_eq!(s.respawns, 1);
         assert_eq!(s.degradations, 1);
         assert_eq!(s.timed_out_requests, 2);
+        assert_eq!(s.timeout_withdrawals, 5);
         assert_eq!(s.withdrawn_requests, 2);
         assert_eq!(s.drained_requests, 4);
         assert!(s.any_recovery_activity());
@@ -719,5 +733,12 @@ mod tests {
         let d = c.snapshot().since(&s);
         assert_eq!(d.respawns, 2);
         assert_eq!(d.heartbeat_misses, 0);
+        assert_eq!(d.timeout_withdrawals, 0);
+
+        // A deadline fast-fail alone is recovery activity (a bounded-wait
+        // escape fired).
+        let t = ServerCounters::default();
+        ServerCounters::add(&t.timeout_withdrawals, 1);
+        assert!(t.snapshot().any_recovery_activity());
     }
 }

@@ -253,13 +253,21 @@ impl<'a> ThreadHandle<'a> {
     ) -> Result<T, TxError> {
         let deadline = Instant::now() + timeout;
         loop {
+            // Fast-fail before the attempt (and before the backpressure
+            // gate inside it): a deadline that has already passed — a
+            // zero/expired budget handed down by a caller with its own
+            // deadline — must not buy one more attempt's worth of work.
+            if Instant::now() >= deadline {
+                ServerCounters::add(&self.stm.server_stats.timeout_withdrawals, 1);
+                return Err(TxError::Timeout);
+            }
             let r = algo::with_algorithm!(self.stm.effective_algo(), A => {
                 self.attempt::<A, T>(&mut body, Some(deadline), false)
             });
             match r {
                 Ok(v) => return Ok(v),
                 Err(timed_out) => {
-                    if timed_out || Instant::now() >= deadline {
+                    if timed_out {
                         return Err(TxError::Timeout);
                     }
                 }

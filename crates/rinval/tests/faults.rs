@@ -92,6 +92,50 @@ fn body_panic_leaves_stm_usable_on_every_engine() {
     }
 }
 
+/// A deadline that has already passed must fast-fail: `try_run_for`
+/// returns `Timeout` without running the body (and thus without entering
+/// the backpressure gate or posting anything), and the withdrawal is
+/// counted in `ServerStats::timeout_withdrawals` — on every engine.
+#[test]
+fn try_run_for_fast_fails_expired_deadline() {
+    use rinval::TxError;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    for kind in all_kinds() {
+        let stm = Stm::builder(kind).heap_words(1 << 10).build();
+        let c = stm.alloc_init(&[0]);
+        let mut th = stm.register_thread();
+        let body_entered = AtomicUsize::new(0);
+
+        let r = th.try_run_for(Duration::ZERO, |tx| {
+            body_entered.fetch_add(1, Ordering::Relaxed);
+            let v = tx.read(c)?;
+            tx.write(c, v + 1)
+        });
+        assert_eq!(r, Err(TxError::Timeout), "{kind:?}");
+        assert_eq!(
+            body_entered.load(Ordering::Relaxed),
+            0,
+            "{kind:?}: expired deadline still bought an attempt"
+        );
+        assert_eq!(stm.peek(c), 0, "{kind:?}");
+        assert!(
+            stm.server_stats().timeout_withdrawals >= 1,
+            "{kind:?}: fast-fail not counted as a timeout withdrawal"
+        );
+        assert_registry_quiescent(&stm);
+
+        // The handle is still fully usable afterwards.
+        let r = th.try_run_for(Duration::from_secs(5), |tx| {
+            let v = tx.read(c)?;
+            tx.write(c, v + 1)
+        });
+        assert_eq!(r, Ok(()), "{kind:?}");
+        assert_eq!(stm.peek(c), 1, "{kind:?}");
+    }
+}
+
 /// One thread panics over and over while three others increment: the
 /// survivors' updates must all land, on every engine.
 #[test]

@@ -102,7 +102,9 @@ impl Database {
 
     /// Reservation: query `queries` resources in one relation, reserve the
     /// cheapest available one for `customer`. Returns whether it reserved.
-    fn reserve(
+    ///
+    /// Public so the `svc` front-end can expose it as a typed endpoint.
+    pub fn reserve(
         &self,
         tx: &mut Txn<'_>,
         rel_idx: usize,
@@ -131,7 +133,7 @@ impl Database {
     }
 
     /// Customer deletion: refund (zero) the bill.
-    fn delete_customer(&self, tx: &mut Txn<'_>, customer: u64) -> TxResult<()> {
+    pub fn delete_customer(&self, tx: &mut Txn<'_>, customer: u64) -> TxResult<()> {
         if let Some(bill) = self.customers.get(tx, customer)? {
             if bill > 0 {
                 self.customers.insert(tx, customer, 0)?;
@@ -142,13 +144,36 @@ impl Database {
     }
 
     /// Manager update: re-price a resource.
-    fn update_price(&self, tx: &mut Txn<'_>, rel_idx: usize, id: u64, price: u64) -> TxResult<()> {
+    pub fn update_price(&self, tx: &mut Txn<'_>, rel_idx: usize, id: u64, price: u64) -> TxResult<()> {
         let rel = self.relations[rel_idx];
         if let Some(v) = rel.get(tx, id)? {
             let (avail, _) = unpack(v);
             rel.insert(tx, id, pack(avail, price))?;
         }
         Ok(())
+    }
+
+    /// Quote: the cheapest in-stock price among `candidates` in one
+    /// relation, or `None` if everything is sold out. Strictly read-only —
+    /// safe under [`rinval::ThreadHandle::run_ro`], which is how the `svc`
+    /// front-end keeps serving quotes while write traffic is shed.
+    pub fn quote(
+        &self,
+        tx: &mut Txn<'_>,
+        rel_idx: usize,
+        candidates: &[u64],
+    ) -> TxResult<Option<u64>> {
+        let rel = self.relations[rel_idx];
+        let mut best: Option<u64> = None;
+        for &id in candidates {
+            if let Some(v) = rel.get(tx, id)? {
+                let (avail, price) = unpack(v);
+                if avail > 0 && best.is_none_or(|bp| price < bp) {
+                    best = Some(price);
+                }
+            }
+        }
+        Ok(best)
     }
 
     /// Checks every conservation invariant. Quiescent only.
@@ -315,6 +340,23 @@ mod tests {
                 .unwrap_or_else(|e| panic!("{algo:?}: {e}"));
             assert!(report.checksum > 0);
         }
+    }
+
+    #[test]
+    fn quote_matches_reserve_choice_and_is_read_only() {
+        let cfg = small();
+        let stm = Stm::builder(AlgorithmKind::NOrec).heap_words(1 << 16).build();
+        let db = Database::setup(&stm, &cfg);
+        let cands: Vec<u64> = (0..cfg.resources).collect();
+        let mut th = stm.register_thread();
+        // run_ro panics on any write, so this also certifies quote is RO.
+        let quoted = th.run_ro(|tx| db.quote(tx, 0, &cands)).expect("stocked");
+        // Reserving over the same candidates must pick the quoted price.
+        let billed_before = 0;
+        th.run(|tx| db.reserve(tx, 0, &cands, 0));
+        let bill = th.run(|tx| db.customers.get(tx, 0)).unwrap_or(0);
+        assert_eq!(bill - billed_before, quoted);
+        db.verify(&stm, &cfg).unwrap();
     }
 
     #[test]

@@ -1,0 +1,133 @@
+//! Closed-loop load generator CLI for the `svc` front-end.
+//!
+//! ```text
+//! svc_loadgen [--workload bank|travel] [--algo <kind>] [--workers N]
+//!             [--clients N] [--secs S] [--write-pct P] [--slo-ms MS]
+//!             [--chaos] [--chaos-spec "<RINVAL_FAILPOINTS spec>"]
+//!             [--kill-inval-server] [--seed N]
+//! ```
+//!
+//! `--chaos` arms the spec at 25% of the run and disarms it at 60%, then
+//! requires the write p99 to recover under the SLO before the run ends
+//! plus a recovery window. If `--chaos-spec` is omitted, the spec is read
+//! from `RINVAL_FAILPOINTS` (which also seeds the Stm at build — arming
+//! twice is idempotent) so CI can inject plans via the environment.
+//!
+//! Exits nonzero when the ledger check fails (lost/duplicated operations,
+//! an inconclusive drain, a missed recovery window) or a workload
+//! conservation invariant breaks.
+
+use rinval::AlgorithmKind;
+use std::time::Duration;
+use svc::loadgen::{ChaosConfig, LoadConfig};
+use svc::{bank, travel, SvcConfig};
+
+fn arg_val(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let workload = arg_val(&args, "--workload").unwrap_or_else(|| "bank".into());
+    let algo: AlgorithmKind = arg_val(&args, "--algo")
+        .unwrap_or_else(|| "rinval-v2".into())
+        .parse()
+        .unwrap_or_else(|e| panic!("--algo: {e}"));
+    let secs: f64 = arg_val(&args, "--secs").map_or(1.0, |v| v.parse().unwrap());
+    let slo_ms: u64 = arg_val(&args, "--slo-ms").map_or(20, |v| v.parse().unwrap());
+    let chaos = args.iter().any(|a| a == "--chaos");
+    let chaos_spec = arg_val(&args, "--chaos-spec")
+        .or_else(|| std::env::var("RINVAL_FAILPOINTS").ok())
+        .unwrap_or_default();
+
+    let svc_cfg = SvcConfig {
+        workers: arg_val(&args, "--workers").map_or(4, |v| v.parse().unwrap()),
+        clients: 64,
+        slo_p99: Duration::from_millis(slo_ms),
+        ..SvcConfig::default()
+    };
+    let duration = Duration::from_secs_f64(secs);
+    let cfg = LoadConfig {
+        clients: arg_val(&args, "--clients").map_or(8, |v| v.parse().unwrap()),
+        duration,
+        write_pct: arg_val(&args, "--write-pct").map_or(50, |v| v.parse().unwrap()),
+        seed: arg_val(&args, "--seed").map_or(0x10AD, |v| v.parse().unwrap()),
+        chaos: chaos.then(|| ChaosConfig {
+            arm_at: duration.mul_f64(0.25),
+            disarm_at: duration.mul_f64(0.60),
+            spec: chaos_spec.clone(),
+            kill_inval_server: args.iter().any(|a| a == "--kill-inval-server"),
+            recovery_window: duration.mul_f64(0.40) + Duration::from_secs(5),
+        }),
+        ..LoadConfig::default()
+    };
+    println!(
+        "svc_loadgen: workload={workload} algo={} workers={} clients={} secs={secs} chaos={chaos}{}",
+        algo.name(),
+        svc_cfg.workers,
+        cfg.clients,
+        if chaos && !chaos_spec.is_empty() {
+            format!(" spec='{chaos_spec}'")
+        } else {
+            String::new()
+        }
+    );
+
+    let stm = rinval::Stm::builder(algo).heap_words(1 << 20).build();
+    let (report, conservation) = match workload.as_str() {
+        "bank" => {
+            let svc = bank::BankService::setup(&stm, 256, 10_000);
+            let report = svc::loadgen::run(
+                &stm,
+                &svc,
+                &svc_cfg,
+                &cfg,
+                &|_c, rng, hot, write| {
+                    if write {
+                        (bank::EP_TRANSFER, [hot, rng.below(256), 1 + rng.below(50), 0])
+                    } else if rng.below(10) == 0 {
+                        (bank::EP_AUDIT, [0; 4])
+                    } else {
+                        (bank::EP_BALANCE, [hot, 0, 0, 0])
+                    }
+                },
+            );
+            (report, svc.verify(&stm))
+        }
+        "travel" => {
+            let svc = travel::TravelService::setup(&stm, stamp::vacation::Config::default());
+            let report = svc::loadgen::run(
+                &stm,
+                &svc,
+                &svc_cfg,
+                &cfg,
+                &|_c, rng, hot, write| {
+                    if write {
+                        match rng.below(10) {
+                            0 => (travel::EP_RELEASE, [rng.below(128), 0, 0, 0]),
+                            1 => (travel::EP_REPRICE, [rng.below(3), hot, rng.below(450), 0]),
+                            _ => (travel::EP_RESERVE, [rng.below(3), rng.below(128), hot, 0]),
+                        }
+                    } else {
+                        (travel::EP_QUOTE, [rng.below(3), hot, 0, 0])
+                    }
+                },
+            );
+            (report, svc.verify(&stm))
+        }
+        other => panic!("unknown --workload '{other}' (bank|travel)"),
+    };
+
+    report.print();
+    if let Err(e) = conservation {
+        eprintln!("CONSERVATION VIOLATION: {e}");
+        std::process::exit(2);
+    }
+    println!("conservation OK");
+    if !report.ledger_ok() {
+        eprintln!("LEDGER CHECK FAILED");
+        std::process::exit(1);
+    }
+}

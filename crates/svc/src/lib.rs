@@ -1,0 +1,543 @@
+//! # svc — a resilient transactional service front-end over `rinval`
+//!
+//! The layer where the paper's claim gets operational: remote invalidation
+//! shortens the critical path *clients observe*, so this crate fronts the
+//! transactional workloads as a thread-per-core service with the request
+//! lifecycle a real deployment needs (DESIGN.md §17):
+//!
+//! * **Bounded mailboxes** — one per worker, routed by client id. A full
+//!   mailbox answers [`SvcError::RetryAfter`] at the door; queue depth
+//!   never grows without bound.
+//! * **Deadlines** — every request carries one; it fast-fails expired work
+//!   at dequeue and bounds the transaction itself through
+//!   [`rinval::ThreadHandle::try_run_for`].
+//! * **Idempotent retries** — every write carries a per-client idempotency
+//!   key (strictly increasing, starting at 1) checked against a
+//!   *transactional* dedup window in the same transaction that applies the
+//!   operation. A reply lost to a crash between commit and delivery is
+//!   recovered by retrying the same key: the retry reads the recorded
+//!   result instead of re-applying. Effects are exactly-once under every
+//!   fault the service layer can inject.
+//! * **SLO admission control** — when the windowed write p99 breaches the
+//!   SLO, or the STM's backpressure signal (pending commit requests) says
+//!   the servers are saturated, write traffic is shed first
+//!   (`RetryAfter`); reads keep being served through
+//!   [`rinval::ThreadHandle::run_ro`], so the service degrades to
+//!   read-only instead of failing outright.
+//! * **Supervision** — a worker killed by a panic (injected or real) is
+//!   respawned; its mailbox survives, and in-flight committed-but-unacked
+//!   operations are recovered by client retry through the dedup window.
+//!
+//! The failure drills run through the same deterministic failpoint table
+//! as the engine (`rinval::faults`, sites `svc.enqueue`, `svc.reply.pre`,
+//! `svc.worker.death`), and [`loadgen`] closes the loop: keyed clients,
+//! zipfian hot keys, bursty phases, a chaos controller, and a ledger that
+//! proves zero lost and zero duplicated operations afterwards.
+
+#![warn(missing_docs)]
+
+mod mailbox;
+mod stats;
+
+pub mod bank;
+pub mod loadgen;
+pub mod travel;
+
+pub use stats::SvcStats;
+
+use mailbox::{Envelope, Mailbox, ReplySlot};
+use rinval::faults::site;
+use rinval::{FaultAction, Stm, TxError, TxResult, Txn};
+use stats::{bump, Counters, WindowHist};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{Scope, ScopedJoinHandle};
+use std::time::{Duration, Instant};
+
+/// Sentinel returned to a duplicate whose recorded result has already
+/// rotated out of the dedup window: the operation *was* applied (exactly
+/// once), but its value is forgotten. A closed-loop client never sees this
+/// unless it retries a key older than `dedup_window` acknowledged
+/// operations.
+pub const STALE_DUPLICATE: u64 = u64::MAX;
+
+/// One service request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// Client identity; routes to worker `client % workers` and selects
+    /// the dedup row. Must be `< SvcConfig::clients`.
+    pub client: u64,
+    /// Idempotency key: strictly increasing per client, starting at 1.
+    /// Retries of the same logical operation reuse the same key.
+    pub key: u64,
+    /// Endpoint index into [`Workload::endpoints`].
+    pub endpoint: u8,
+    /// Endpoint-specific operands.
+    pub args: [u64; 4],
+}
+
+/// Why a request did not produce a value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SvcError {
+    /// Load was shed (full mailbox, SLO breach, or backpressure): back
+    /// off and retry the same key.
+    RetryAfter,
+    /// The deadline expired. The operation may or may not have committed —
+    /// retrying the same key resolves which, exactly once.
+    Timeout,
+    /// The service is stopping.
+    Shutdown,
+}
+
+/// One typed endpoint of a workload.
+#[derive(Clone, Copy, Debug)]
+pub struct EndpointDesc {
+    /// Stable name (reports, bench smoke greps).
+    pub name: &'static str,
+    /// Write endpoints go through the dedup window and the admission
+    /// gate; read endpoints are always served via `run_ro`.
+    pub writes: bool,
+}
+
+/// A workload exposed through the service: a fixed endpoint table plus a
+/// transactional implementation per direction.
+///
+/// `apply` runs inside the same transaction as the dedup-window update, so
+/// its effects and the idempotency record commit atomically — the heart of
+/// the exactly-once argument. It must therefore be free of side effects
+/// outside the STM (the vincent_stm rule: side effects only after
+/// verification — here, only *inside* the transaction).
+pub trait Workload: Sync {
+    /// The endpoint table; `Request::endpoint` indexes it.
+    fn endpoints(&self) -> &'static [EndpointDesc];
+    /// Executes a write endpoint; returns the value recorded in the dedup
+    /// window and replied to the client.
+    fn apply(&self, tx: &mut Txn<'_>, req: &Request) -> TxResult<u64>;
+    /// Executes a read endpoint. Must not write (enforced by `run_ro`).
+    fn query(&self, tx: &mut Txn<'_>, req: &Request) -> TxResult<u64>;
+}
+
+/// Service deployment parameters.
+#[derive(Clone, Debug)]
+pub struct SvcConfig {
+    /// Worker threads (one mailbox each).
+    pub workers: usize,
+    /// Mailbox capacity; a full mailbox rejects with `RetryAfter`.
+    pub mailbox_cap: usize,
+    /// Client-id space (sizes the dedup table).
+    pub clients: u64,
+    /// Dedup entries retained per client. Must cover the deepest retry a
+    /// client can issue; closed-loop clients need only 1, the default
+    /// leaves margin.
+    pub dedup_window: usize,
+    /// Write p99 SLO driving the admission gate.
+    pub slo_p99: Duration,
+    /// Observations per latency window (cached p99 refresh rate).
+    pub hist_window: u64,
+    /// Pending-commit-request threshold above which writes are shed
+    /// (mirrors [`rinval::StarvationConfig::backpressure_pending`]).
+    pub shed_pending: usize,
+    /// How long a breached p99 window sheds before the signal goes stale
+    /// and probe writes are re-admitted to re-measure.
+    pub breach_ttl: Duration,
+    /// Respawn workers that die (panic or injected death).
+    pub respawn_workers: bool,
+}
+
+impl Default for SvcConfig {
+    fn default() -> SvcConfig {
+        SvcConfig {
+            workers: 4,
+            mailbox_cap: 64,
+            clients: 64,
+            dedup_window: 8,
+            slo_p99: Duration::from_millis(5),
+            hist_window: 64,
+            shed_pending: 32,
+            breach_ttl: Duration::from_millis(100),
+            respawn_workers: true,
+        }
+    }
+}
+
+/// Dedup row layout: `[last_key, ops_applied, cursor, (key, val) × window]`.
+const OFF_LAST_KEY: u32 = 0;
+const OFF_APPLIED: u32 = 1;
+const OFF_CURSOR: u32 = 2;
+const OFF_ENTRIES: u32 = 3;
+
+/// The transactional idempotency table: one row per client in STM words.
+struct Dedup {
+    base: rinval::Handle,
+    row_words: u32,
+    window: u32,
+}
+
+impl Dedup {
+    fn new(stm: &Stm, clients: u64, window: usize) -> Dedup {
+        let window = window.max(1) as u32;
+        let row_words = OFF_ENTRIES + 2 * window;
+        Dedup {
+            // `Stm::alloc` zeroes, which is exactly the empty-table
+            // encoding (last_key 0 < every real key).
+            base: stm.alloc(clients as usize * row_words as usize),
+            row_words,
+            window,
+        }
+    }
+
+    fn row(&self, client: u64) -> rinval::Handle {
+        self.base.field(client as u32 * self.row_words)
+    }
+
+    /// The transactional core of exactly-once: duplicate keys are answered
+    /// from the window, fresh keys apply the operation and record its
+    /// result in the same transaction.
+    fn apply(
+        &self,
+        wl: &dyn Workload,
+        tx: &mut Txn<'_>,
+        req: &Request,
+    ) -> TxResult<(u64, bool)> {
+        let row = self.row(req.client);
+        let last = tx.read(row.field(OFF_LAST_KEY))?;
+        if req.key <= last {
+            // Keys are strictly increasing, so `key <= last` can only be a
+            // retry (or a duplicate copy an earlier dead worker left in a
+            // mailbox). Never re-apply — find the recorded result.
+            for i in 0..self.window {
+                if tx.read(row.field(OFF_ENTRIES + 2 * i))? == req.key {
+                    return Ok((tx.read(row.field(OFF_ENTRIES + 2 * i + 1))?, false));
+                }
+            }
+            return Ok((STALE_DUPLICATE, false));
+        }
+        let val = wl.apply(tx, req)?;
+        let cursor = tx.read(row.field(OFF_CURSOR))?;
+        let slot = (cursor % self.window as u64) as u32;
+        tx.write(row.field(OFF_ENTRIES + 2 * slot), req.key)?;
+        tx.write(row.field(OFF_ENTRIES + 2 * slot + 1), val)?;
+        tx.write(row.field(OFF_CURSOR), cursor + 1)?;
+        tx.write(row.field(OFF_LAST_KEY), req.key)?;
+        let applied = tx.read(row.field(OFF_APPLIED))?;
+        tx.write(row.field(OFF_APPLIED), applied + 1)?;
+        Ok((val, true))
+    }
+}
+
+/// Everything the workers, supervisor and front-end share.
+struct Shared<'a> {
+    stm: &'a Stm,
+    workload: &'a dyn Workload,
+    cfg: SvcConfig,
+    endpoints: &'static [EndpointDesc],
+    mailboxes: Vec<Mailbox>,
+    hists: Vec<WindowHist>,
+    counters: Counters,
+    shutdown: AtomicBool,
+    dedup: Dedup,
+    epoch: Instant,
+}
+
+impl Shared<'_> {
+    fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// The shed decision (writes only): recent write p99 over SLO, or the
+    /// STM's own backpressure signal. Reads never consult this.
+    fn should_shed_write(&self) -> bool {
+        if self.stm.registry().pending().count_set() >= self.cfg.shed_pending {
+            return true;
+        }
+        let slo = self.cfg.slo_p99.as_nanos() as u64;
+        let ttl = self.cfg.breach_ttl.as_nanos() as u64;
+        let now = self.now_ns();
+        self.endpoints
+            .iter()
+            .zip(&self.hists)
+            .any(|(ep, h)| ep.writes && h.breached(slo, now, ttl))
+    }
+}
+
+/// Handle the `serve` closure uses to submit requests and read telemetry.
+pub struct Frontend<'s, 'a> {
+    shared: &'s Shared<'a>,
+}
+
+impl Frontend<'_, '_> {
+    /// Submits one request and waits for its reply or `timeout`.
+    ///
+    /// # Panics
+    /// On an out-of-range endpoint or client id, or a zero idempotency
+    /// key on a write endpoint (keys start at 1).
+    pub fn call(&self, req: Request, timeout: Duration) -> Result<u64, SvcError> {
+        let sh = self.shared;
+        let ep = sh.endpoints[req.endpoint as usize];
+        assert!(req.client < sh.cfg.clients, "svc: client id out of range");
+        assert!(
+            !ep.writes || req.key >= 1,
+            "svc: write idempotency keys start at 1"
+        );
+        let deadline = Instant::now() + timeout;
+        match sh.stm.faults().hit(site::SVC_ENQUEUE) {
+            Some(FaultAction::Fail) => {
+                // Injected admission failure: looks exactly like load shed.
+                bump(&sh.counters.enqueue_faults);
+                return Err(SvcError::RetryAfter);
+            }
+            Some(FaultAction::Exit) => {
+                // Accept-then-drop: the request vanishes after the client
+                // believes it was submitted, so it can only time out.
+                bump(&sh.counters.enqueue_drops);
+                std::thread::sleep(deadline.saturating_duration_since(Instant::now()));
+                bump(&sh.counters.client_timeouts);
+                return Err(SvcError::Timeout);
+            }
+            Some(FaultAction::Delay(d)) => std::thread::sleep(d),
+            _ => {}
+        }
+        let reply = Arc::new(ReplySlot::new());
+        let env = Envelope {
+            req,
+            deadline,
+            reply: reply.clone(),
+        };
+        let w = (req.client as usize) % sh.cfg.workers;
+        if sh.mailboxes[w].try_push(env).is_err() {
+            bump(&sh.counters.rejected_full);
+            return Err(SvcError::RetryAfter);
+        }
+        bump(&sh.counters.accepted);
+        let out = reply.wait(deadline);
+        if out == Err(SvcError::Timeout) {
+            bump(&sh.counters.client_timeouts);
+        }
+        out
+    }
+
+    /// Service lifecycle counters.
+    pub fn stats(&self) -> SvcStats {
+        self.shared.counters.snapshot()
+    }
+
+    /// Operations ever applied for `client` — the service side of the
+    /// exactly-once ledger. Quiescent read.
+    pub fn applied_ops(&self, client: u64) -> u64 {
+        let sh = self.shared;
+        sh.stm.peek(sh.dedup.row(client).field(OFF_APPLIED))
+    }
+
+    /// Lifetime latency histogram and observation count for one endpoint.
+    pub fn endpoint_latency(&self, endpoint: u8) -> ([u64; 32], u64) {
+        let h = &self.shared.hists[endpoint as usize];
+        (h.lifetime(), h.count())
+    }
+
+    /// Lifetime latency quantile for one endpoint (upper bucket edge, ns).
+    pub fn endpoint_quantile_ns(&self, endpoint: u8, q: f64) -> Option<u64> {
+        stats::quantile_ns(&self.shared.hists[endpoint as usize].lifetime(), q)
+    }
+
+    /// The cached p50/p99 of the endpoint's most recent full latency
+    /// window, in ns (0 until a window has filled). The p99 is the signal
+    /// the write admission gate compares against the SLO.
+    pub fn endpoint_recent_ns(&self, endpoint: u8) -> (u64, u64) {
+        let h = &self.shared.hists[endpoint as usize];
+        (h.cached_p50_ns(), h.cached_p99_ns())
+    }
+
+    /// The endpoint table being served.
+    pub fn endpoints(&self) -> &'static [EndpointDesc] {
+        self.shared.endpoints
+    }
+
+    /// True while the admission gate would shed a write right now.
+    pub fn shedding_writes(&self) -> bool {
+        self.shared.should_shed_write()
+    }
+}
+
+/// Runs the service around `f`: workers and their supervisor start before
+/// `f` is called with the [`Frontend`], and the service drains and joins
+/// after `f` returns. Everything runs on scoped threads, so `stm`,
+/// `workload` and `cfg` only need to outlive the call.
+pub fn serve<R>(
+    stm: &Stm,
+    workload: &dyn Workload,
+    cfg: &SvcConfig,
+    f: impl FnOnce(&Frontend<'_, '_>) -> R,
+) -> R {
+    let endpoints = workload.endpoints();
+    assert!(
+        !endpoints.is_empty() && endpoints.len() <= u8::MAX as usize,
+        "svc: endpoint table must fit a u8 index"
+    );
+    let cfg = cfg.clone();
+    assert!(cfg.workers >= 1, "svc: at least one worker");
+    let shared = Shared {
+        stm,
+        workload,
+        endpoints,
+        mailboxes: (0..cfg.workers).map(|_| Mailbox::new(cfg.mailbox_cap)).collect(),
+        hists: endpoints.iter().map(|_| WindowHist::new(cfg.hist_window)).collect(),
+        counters: Counters::default(),
+        shutdown: AtomicBool::new(false),
+        dedup: Dedup::new(stm, cfg.clients, cfg.dedup_window),
+        epoch: Instant::now(),
+        cfg,
+    };
+    std::thread::scope(|s| {
+        let sh = &shared;
+        let supervisor = s.spawn(move || supervise(s, sh));
+        let out = f(&Frontend { shared: sh });
+        sh.shutdown.store(true, Ordering::SeqCst);
+        for mb in &sh.mailboxes {
+            mb.notify();
+        }
+        supervisor.join().expect("svc: supervisor panicked");
+        out
+    })
+}
+
+/// Owns the worker handles: joins the dead (containing their panics) and
+/// respawns them while the service is up. Worker death is a *counted,
+/// survivable* event — exactly-once is carried by the dedup window, not by
+/// worker longevity.
+fn supervise<'scope>(s: &'scope Scope<'scope, '_>, sh: &'scope Shared<'_>) {
+    let spawn = |w: usize| s.spawn(move || worker(sh, w));
+    let mut slots: Vec<Option<ScopedJoinHandle<'scope, ()>>> =
+        (0..sh.cfg.workers).map(|w| Some(spawn(w))).collect();
+    loop {
+        let shutting_down = sh.shutdown.load(Ordering::SeqCst);
+        for (w, slot) in slots.iter_mut().enumerate() {
+            let finished = slot.as_ref().is_some_and(|h| h.is_finished());
+            if finished {
+                // A worker returning before shutdown is a death either way:
+                // Err = panic (unwind contained here), Ok = injected exit.
+                let _ = slot.take().unwrap().join();
+                if !shutting_down {
+                    bump(&sh.counters.worker_deaths);
+                    if sh.cfg.respawn_workers {
+                        bump(&sh.counters.worker_respawns);
+                        *slot = Some(spawn(w));
+                    }
+                }
+            }
+        }
+        if shutting_down {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    for slot in &mut slots {
+        if let Some(h) = slot.take() {
+            let _ = h.join();
+        }
+    }
+    // Workers are gone; anything still queued gets an honest Shutdown.
+    for mb in &sh.mailboxes {
+        for env in mb.drain() {
+            if env.reply.deliver(Err(SvcError::Shutdown)) {
+                bump(&sh.counters.shutdown_replies);
+            }
+        }
+    }
+}
+
+/// One worker: owns a registered STM thread and serves its mailbox until
+/// shutdown (or injected death).
+fn worker(sh: &Shared<'_>, w: usize) {
+    let mut th = sh.stm.register_thread();
+    loop {
+        match sh.stm.faults().hit(site::SVC_WORKER_DEATH) {
+            Some(FaultAction::Exit) => return,
+            Some(FaultAction::Panic) => panic!("svc: injected worker death"),
+            Some(FaultAction::Delay(d)) => std::thread::sleep(d),
+            _ => {}
+        }
+        let Some(env) = sh.mailboxes[w].pop(&sh.shutdown) else {
+            return;
+        };
+        process(sh, &mut th, env);
+    }
+}
+
+/// The request state machine past admission: expire → (read | shed →
+/// execute) → reply. See DESIGN.md §17 for the full lifecycle diagram.
+fn process(sh: &Shared<'_>, th: &mut rinval::ThreadHandle<'_>, env: Envelope) {
+    let ep = sh.endpoints[env.req.endpoint as usize];
+    let now = Instant::now();
+    if now >= env.deadline {
+        // The client is already gone (its wait and this check share one
+        // clock); answer Timeout without burning a transaction on it.
+        bump(&sh.counters.expired_on_dequeue);
+        deliver(sh, &env, Err(SvcError::Timeout));
+        return;
+    }
+    if !ep.writes {
+        // Reads bypass the admission gate entirely: `run_ro` is the
+        // degraded-mode path and must keep working under write shed.
+        let started = Instant::now();
+        let req = env.req;
+        let v = th.run_ro(|tx| sh.workload.query(tx, &req));
+        sh.hists[req.endpoint as usize].record(started.elapsed(), sh.now_ns());
+        bump(&sh.counters.executed_reads);
+        deliver(sh, &env, Ok(v));
+        return;
+    }
+    if sh.should_shed_write() {
+        bump(&sh.counters.shed_writes);
+        deliver(sh, &env, Err(SvcError::RetryAfter));
+        return;
+    }
+    let started = Instant::now();
+    let req = env.req;
+    let res = th.try_run_for(env.deadline.saturating_duration_since(started), |tx| {
+        sh.dedup.apply(sh.workload, tx, &req)
+    });
+    match res {
+        Ok((val, fresh)) => {
+            sh.hists[req.endpoint as usize].record(started.elapsed(), sh.now_ns());
+            bump(&sh.counters.executed_writes);
+            if !fresh {
+                bump(&sh.counters.dedup_hits);
+                if val == STALE_DUPLICATE {
+                    bump(&sh.counters.stale_duplicates);
+                }
+            } else {
+                // The commit is durable; the reply is not. This is the
+                // window the `svc.reply.pre` drills target — recovery is
+                // the client's retry hitting the dedup window above, which
+                // is why the failpoint only fires on *fresh* applies
+                // (dedup-hit replies are already the recovery path).
+                match sh.stm.faults().hit(site::SVC_REPLY_PRE) {
+                    Some(FaultAction::Panic) => {
+                        panic!("svc: injected crash between commit and reply")
+                    }
+                    Some(FaultAction::Exit) => {
+                        bump(&sh.counters.dropped_replies);
+                        return;
+                    }
+                    Some(FaultAction::Delay(d)) => std::thread::sleep(d),
+                    _ => {}
+                }
+            }
+            deliver(sh, &env, Ok(val));
+        }
+        Err(TxError::Timeout) => {
+            bump(&sh.counters.exec_timeouts);
+            deliver(sh, &env, Err(SvcError::Timeout));
+        }
+        // `try_run_for` retries aborts internally; an Aborted verdict can
+        // only mean the instance is shutting down around us. Let the
+        // client retry against whatever comes next.
+        Err(TxError::Aborted) => deliver(sh, &env, Err(SvcError::RetryAfter)),
+    }
+}
+
+fn deliver(sh: &Shared<'_>, env: &Envelope, outcome: Result<u64, SvcError>) {
+    if !env.reply.deliver(outcome) {
+        bump(&sh.counters.late_replies);
+    }
+}

@@ -8,9 +8,101 @@
 //! ```sh
 //! cargo run --example travel_agency [threads] [transactions]
 //! ```
+//!
+//! With `--serve`, the mix runs through the `svc` front-end as typed
+//! endpoints (reserve/release/reprice writes, quote reads): each thread
+//! becomes a thin client with idempotent retries, and the same
+//! conservation invariants are verified at the end:
+//!
+//! ```sh
+//! cargo run --example travel_agency -- 4 3000 --serve
+//! ```
 
 use rinval::{AlgorithmKind, Stm};
 use stamp::vacation::{self, Config};
+use stamp::SplitMix;
+use std::time::Duration;
+
+fn serve_mode(threads: usize, transactions: usize, cfg: Config) {
+    let per_client = (transactions / threads.max(1)).max(1) as u64;
+    for algo in [
+        AlgorithmKind::NOrec,
+        AlgorithmKind::RInvalV2 { invalidators: 2 },
+    ] {
+        let stm = Stm::builder(algo).heap_words(1 << 20).build();
+        let agency = svc::travel::TravelService::setup(&stm, cfg.clone());
+        let svc_cfg = svc::SvcConfig {
+            workers: threads,
+            clients: threads as u64,
+            ..svc::SvcConfig::default()
+        };
+        let started = std::time::Instant::now();
+        svc::serve(&stm, &agency, &svc_cfg, |front| {
+            std::thread::scope(|s| {
+                for c in 0..threads as u64 {
+                    s.spawn(move || {
+                        let mut rng = SplitMix::new(cfg.seed ^ ((c + 1) << 20));
+                        for key in 1..=per_client {
+                            let kind = rng.below(100);
+                            let (endpoint, args) = if kind < cfg.reserve_pct {
+                                (
+                                    svc::travel::EP_RESERVE,
+                                    [rng.below(3), rng.below(cfg.customers), rng.next_u64(), 0],
+                                )
+                            } else if kind < cfg.reserve_pct + (100 - cfg.reserve_pct) / 2 {
+                                (svc::travel::EP_RELEASE, [rng.below(cfg.customers), 0, 0, 0])
+                            } else {
+                                (
+                                    svc::travel::EP_REPRICE,
+                                    [rng.below(3), rng.below(cfg.resources), rng.below(450), 0],
+                                )
+                            };
+                            let req = svc::Request {
+                                client: c,
+                                key,
+                                endpoint,
+                                args,
+                            };
+                            loop {
+                                match front.call(req, Duration::from_secs(5)) {
+                                    Ok(_) => break,
+                                    Err(svc::SvcError::Shutdown) => return,
+                                    Err(_) => std::thread::sleep(Duration::from_micros(200)),
+                                }
+                            }
+                            // An occasional quote rides along read-only.
+                            if rng.below(4) == 0 {
+                                let quote = svc::Request {
+                                    client: c,
+                                    key: 0,
+                                    endpoint: svc::travel::EP_QUOTE,
+                                    args: [rng.below(3), rng.next_u64(), 0, 0],
+                                };
+                                let _ = front.call(quote, Duration::from_secs(5));
+                            }
+                        }
+                    });
+                }
+            });
+            let stats = front.stats();
+            println!(
+                "{:>10}: served {} writes + {} reads through {} workers in {:.1} ms \
+                 (shed={} dedup_hits={})",
+                algo.name(),
+                stats.executed_writes,
+                stats.executed_reads,
+                svc_cfg.workers,
+                started.elapsed().as_secs_f64() * 1000.0,
+                stats.shed_writes,
+                stats.dedup_hits,
+            );
+        });
+        match agency.verify(&stm) {
+            Ok(()) => println!("{:>10}: all conservation invariants hold", algo.name()),
+            Err(e) => panic!("{}: INVARIANT VIOLATION: {e}", algo.name()),
+        }
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -26,6 +118,10 @@ fn main() {
         reserve_pct: 80,
         seed: 0x7A7E,
     };
+
+    if args.iter().any(|a| a == "--serve") {
+        return serve_mode(threads, transactions, cfg);
+    }
 
     for algo in [
         AlgorithmKind::NOrec,
