@@ -112,6 +112,12 @@ pub trait Workload: Sync {
     fn endpoints(&self) -> &'static [EndpointDesc];
     /// Executes a write endpoint; returns the value recorded in the dedup
     /// window and replied to the client.
+    ///
+    /// The value `u64::MAX` is reserved: the service returns it as
+    /// [`STALE_DUPLICATE`], so an `apply` that produced it would make a
+    /// real result indistinguishable from a rotated-out duplicate on the
+    /// client. Encode endpoint-level sentinels below it (travel's
+    /// `QUOTE_SOLD_OUT` is `u64::MAX - 1` for exactly this reason).
     fn apply(&self, tx: &mut Txn<'_>, req: &Request) -> TxResult<u64>;
     /// Executes a read endpoint. Must not write (enforced by `run_ro`).
     fn query(&self, tx: &mut Txn<'_>, req: &Request) -> TxResult<u64>;
@@ -177,17 +183,29 @@ impl Dedup {
     fn new(stm: &Stm, clients: u64, window: usize) -> Dedup {
         let window = window.max(1) as u32;
         let row_words = OFF_ENTRIES + 2 * window;
+        // Handles index heap words with a u32, so the whole table must fit
+        // one; checking here keeps `row` a plain multiply.
+        let words = clients
+            .checked_mul(row_words as u64)
+            .filter(|&w| w <= u32::MAX as u64)
+            .unwrap_or_else(|| {
+                panic!(
+                    "svc: dedup table of {clients} clients x {row_words} words \
+                     exceeds the u32 handle index space"
+                )
+            });
         Dedup {
             // `Stm::alloc` zeroes, which is exactly the empty-table
             // encoding (last_key 0 < every real key).
-            base: stm.alloc(clients as usize * row_words as usize),
+            base: stm.alloc(words as usize),
             row_words,
             window,
         }
     }
 
     fn row(&self, client: u64) -> rinval::Handle {
-        self.base.field(client as u32 * self.row_words)
+        // In range: `new` checked clients * row_words fits a u32.
+        self.base.field((client * self.row_words as u64) as u32)
     }
 
     /// The transactional core of exactly-once: duplicate keys are answered
@@ -390,14 +408,31 @@ pub fn serve<R>(
     std::thread::scope(|s| {
         let sh = &shared;
         let supervisor = s.spawn(move || supervise(s, sh));
-        let out = f(&Frontend { shared: sh });
-        sh.shutdown.store(true, Ordering::SeqCst);
-        for mb in &sh.mailboxes {
-            mb.notify();
-        }
+        let out = {
+            // Shutdown must be signalled even if `f` unwinds (a failed
+            // test assertion, say): the supervisor loops until it sees the
+            // flag, and `thread::scope` joins it before re-raising the
+            // panic — without the guard that join never returns and the
+            // panic becomes a hang.
+            let _stop = ShutdownGuard(sh);
+            f(&Frontend { shared: sh })
+        };
         supervisor.join().expect("svc: supervisor panicked");
         out
     })
+}
+
+/// Sets the shutdown flag and wakes every worker on drop — including the
+/// unwind path out of the `serve` closure.
+struct ShutdownGuard<'s, 'a>(&'s Shared<'a>);
+
+impl Drop for ShutdownGuard<'_, '_> {
+    fn drop(&mut self) {
+        self.0.shutdown.store(true, Ordering::SeqCst);
+        for mb in &self.0.mailboxes {
+            mb.notify();
+        }
+    }
 }
 
 /// Owns the worker handles: joins the dead (containing their panics) and

@@ -75,7 +75,15 @@ impl Mailbox {
     }
 
     /// Wakes a blocked [`pop`](Mailbox::pop) so it can observe shutdown.
+    ///
+    /// Takes (and immediately releases) the queue lock first: `pop` checks
+    /// the shutdown flag under that lock before entering `wait`, so an
+    /// unlocked notify could land in the gap between a worker's check and
+    /// its wait and be lost — the worker would then block forever, since no
+    /// further pushes arrive after shutdown. Holding the lock orders this
+    /// wake strictly after any in-progress check-then-wait.
     pub(crate) fn notify(&self) {
+        drop(self.q.lock().unwrap());
         self.cv.notify_all();
     }
 

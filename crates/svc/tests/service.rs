@@ -131,6 +131,35 @@ fn zero_deadline_times_out_then_retry_applies_once() {
     bank.verify(&stm).unwrap();
 }
 
+/// A panic inside the serve closure must come back out as a panic (a
+/// failing assertion stays a test failure), not hang `serve` joining a
+/// supervisor that never learns about shutdown.
+#[test]
+fn panicking_closure_propagates_instead_of_hanging() {
+    let stm = Stm::builder(AlgorithmKind::NOrec).heap_words(1 << 12).build();
+    let bank = bank::BankService::setup(&stm, 4, 100);
+    let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        serve(&stm, &bank, &SvcConfig::default(), |_front| -> () {
+            panic!("deliberate closure panic")
+        })
+    }));
+    assert!(out.is_err(), "the closure panic must escape serve()");
+}
+
+/// A dedup table too large for the u32 handle index space is refused up
+/// front instead of silently aliasing rows.
+#[test]
+#[should_panic(expected = "u32 handle index space")]
+fn oversized_dedup_table_panics_up_front() {
+    let stm = Stm::builder(AlgorithmKind::NOrec).heap_words(1 << 12).build();
+    let bank = bank::BankService::setup(&stm, 4, 100);
+    let cfg = SvcConfig {
+        clients: 1 << 40,
+        ..SvcConfig::default()
+    };
+    serve(&stm, &bank, &cfg, |_front| {});
+}
+
 /// A read endpoint that sleeps: wedges a worker for a controlled time so
 /// mailbox overflow is deterministic.
 struct Sleepy;
