@@ -68,7 +68,7 @@ mod algo;
 mod server;
 mod txn;
 
-pub use faults::{FaultAction, FaultPlan};
+pub use faults::{FaultAction, FaultPlan, FiredHit, ProbFault};
 pub use heap::{DomainHeapStats, Handle, Heap, HeapStats};
 pub use policy::{CmPolicy, StarvationConfig};
 pub use stats::{PhaseStats, ServerStats};
@@ -588,6 +588,8 @@ pub struct StmBuilder {
     tl2_stripes: usize,
     watchdog: WatchdogConfig,
     topology: Option<Topology>,
+    fault_seed: Option<u64>,
+    fault_spec: Option<String>,
 }
 
 impl StmBuilder {
@@ -663,6 +665,29 @@ impl StmBuilder {
         self
     }
 
+    /// Seeds the fault plan's per-site draw streams (and resets its
+    /// journal) before any server thread spawns, making a chaos episode a
+    /// pure function of `(seed, plan, workload)` — see DESIGN.md §18. A
+    /// no-op without the `failpoints` feature.
+    pub fn fault_seed(mut self, seed: u64) -> Self {
+        self.fault_seed = Some(seed);
+        self
+    }
+
+    /// Arms the fault plan from an `RINVAL_FAILPOINTS`-syntax spec string,
+    /// applied after the `RINVAL_FAILPOINTS` environment variable (if any)
+    /// and after [`StmBuilder::fault_seed`], before servers spawn. The
+    /// in-process alternative to mutating the environment (which is racy
+    /// across threads); a no-op without the `failpoints` feature.
+    ///
+    /// # Panics
+    /// [`StmBuilder::build`] panics on unknown sites, malformed actions or
+    /// duplicate site entries, like the environment path does.
+    pub fn fault_spec(mut self, spec: impl Into<String>) -> Self {
+        self.fault_spec = Some(spec.into());
+        self
+    }
+
     /// Machine topology to shard the registry, heap regions, era clocks
     /// and server partitions by (default: the `RINVAL_TOPOLOGY`
     /// environment override if set, else [`Topology::single`] — sysfs
@@ -681,6 +706,12 @@ impl StmBuilder {
         let ring_len = self.algo.steps_ahead() + 1;
         let faults = faults::FaultPlan::new();
         faults.arm_from_env();
+        if let Some(seed) = self.fault_seed {
+            faults.set_seed(seed);
+        }
+        if let Some(spec) = &self.fault_spec {
+            faults.arm_from_spec(spec);
+        }
         let topo = topology::Topology::resolve(self.topology);
         let domains = topo.num_domains();
         let mut heap = Heap::with_limits_sharded(self.heap_words, self.heap_max_words, domains);
@@ -790,6 +821,8 @@ impl Stm {
             tl2_stripes: 1 << 16,
             watchdog: WatchdogConfig::default(),
             topology: None,
+            fault_seed: None,
+            fault_spec: None,
         }
     }
 

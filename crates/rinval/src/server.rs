@@ -1126,6 +1126,18 @@ pub(crate) fn watchdog(stm: Arc<StmInner>) {
     }
     'supervise: while !done(&stm) {
         std::thread::sleep(cfg.interval);
+        // `server.watchdog.skip`: Fail skips this supervision round (a
+        // blind watchdog — deaths in the window go unnoticed until the
+        // next round), Delay models a descheduled watchdog, Panic kills
+        // supervision outright.
+        match stm.faults.hit(faults::site::SERVER_WATCHDOG_SKIP) {
+            Some(FaultAction::Fail) => continue 'supervise,
+            Some(FaultAction::Delay(d)) => std::thread::sleep(d),
+            Some(FaultAction::Panic) => {
+                panic!("failpoint {}", faults::SITE_NAMES[faults::site::SERVER_WATCHDOG_SKIP])
+            }
+            _ => {}
+        }
         for seat in 0..seats {
             if done(&stm) {
                 break 'supervise;

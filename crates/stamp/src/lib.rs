@@ -315,6 +315,15 @@ impl SplitMix {
         (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
     }
 
+    /// Splits off an independent child generator (the SplitMix64 idiom the
+    /// algorithm is named for): the child is seeded from the parent's next
+    /// output, so sibling streams share no state and a parent advanced `n`
+    /// times always yields the same `n`-th child — the property episode
+    /// replay relies on for per-client workload streams.
+    pub fn split(&mut self) -> SplitMix {
+        SplitMix::new(self.next_u64())
+    }
+
     /// Fisher–Yates shuffle.
     pub fn shuffle<T>(&mut self, xs: &mut [T]) {
         for i in (1..xs.len()).rev() {

@@ -112,6 +112,10 @@ impl Workload for BankService {
             other => unreachable!("bank: unknown read endpoint {other}"),
         }
     }
+
+    fn verify(&self, stm: &Stm) -> Result<(), String> {
+        BankService::verify(self, stm)
+    }
 }
 
 #[cfg(test)]

@@ -2,9 +2,11 @@
 //!
 //! ```text
 //! svc_loadgen [--workload bank|travel] [--algo <kind>] [--workers N]
-//!             [--clients N] [--secs S] [--write-pct P] [--slo-ms MS]
-//!             [--chaos] [--chaos-spec "<RINVAL_FAILPOINTS spec>"]
+//!             [--clients N] [--secs S] [--ops N] [--write-pct P]
+//!             [--slo-ms MS] [--timeout-ms MS] [--chaos]
+//!             [--chaos-spec "<RINVAL_FAILPOINTS spec>"]
 //!             [--kill-inval-server] [--seed N]
+//! svc_loadgen --replay <CHAOS1 token>
 //! ```
 //!
 //! `--chaos` arms the spec at 25% of the run and disarms it at 60%, then
@@ -13,13 +15,23 @@
 //! from `RINVAL_FAILPOINTS` (which also seeds the Stm at build — arming
 //! twice is idempotent) so CI can inject plans via the environment.
 //!
-//! Exits nonzero when the ledger check fails (lost/duplicated operations,
-//! an inconclusive drain, a missed recovery window) or a workload
-//! conservation invariant breaks.
+//! Every run prints a `repro: CHAOS1,…` token. `--ops` runs are
+//! ops-bounded and the token replays them bit-identically (equal fault
+//! journal digests — the CI replay gate). Timed (`--secs`) runs are not
+//! replayable as such; their token approximates `ops` from the observed
+//! volume and arms the plan from the start, so it reproduces the *shape*
+//! of the run, and two replays of that token still match each other
+//! exactly.
+//!
+//! Exit codes: `0` OK · `1` ledger violation (lost/duplicated/undrained)
+//! · `2` conservation violation · `3` SLO-recovery failure · `4` other
+//! oracle violation (engine/accounting, replay mode only).
 
 use rinval::AlgorithmKind;
 use std::time::Duration;
-use svc::loadgen::{ChaosConfig, LoadConfig};
+use svc::chaos::{bank_plan, travel_plan, Episode, PlanSpec, WorkloadKind};
+use svc::loadgen::{ChaosConfig, LoadConfig, LoadReport};
+use svc::oracle::{self, Allowances};
 use svc::{bank, travel, SvcConfig};
 
 fn arg_val(args: &[String], flag: &str) -> Option<String> {
@@ -28,15 +40,57 @@ fn arg_val(args: &[String], flag: &str) -> Option<String> {
         .and_then(|i| args.get(i + 1).cloned())
 }
 
+/// Maps oracle violations onto the documented exit codes (worst wins:
+/// conservation > ledger > SLO > other).
+fn exit_code(violations: &[String]) -> i32 {
+    if violations.is_empty() {
+        0
+    } else if violations.iter().any(|v| v.starts_with("conservation:")) {
+        2
+    } else if violations.iter().any(|v| v.starts_with("ledger:")) {
+        1
+    } else if violations.iter().any(|v| v.starts_with("slo:")) {
+        3
+    } else {
+        4
+    }
+}
+
+fn replay(token: &str) -> ! {
+    let ep = Episode::parse_token(token).unwrap_or_else(|e| {
+        eprintln!("svc_loadgen --replay: {e}");
+        std::process::exit(64);
+    });
+    println!("replaying {}", ep.token());
+    let outcome = ep.run();
+    outcome.report.print();
+    println!(
+        "replay fires={} digest={:#018x} verdict={}",
+        outcome.fires,
+        outcome.digest,
+        if outcome.passed() { "OK" } else { "FAILED" }
+    );
+    for v in &outcome.violations {
+        eprintln!("violation: {v}");
+    }
+    std::process::exit(exit_code(&outcome.violations));
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    if let Some(token) = arg_val(&args, "--replay") {
+        replay(&token);
+    }
     let workload = arg_val(&args, "--workload").unwrap_or_else(|| "bank".into());
+    let workload = WorkloadKind::from_name(&workload).unwrap_or_else(|e| panic!("--workload: {e}"));
     let algo: AlgorithmKind = arg_val(&args, "--algo")
         .unwrap_or_else(|| "rinval-v2".into())
         .parse()
         .unwrap_or_else(|e| panic!("--algo: {e}"));
     let secs: f64 = arg_val(&args, "--secs").map_or(1.0, |v| v.parse().unwrap());
+    let ops: Option<u64> = arg_val(&args, "--ops").map(|v| v.parse().unwrap());
     let slo_ms: u64 = arg_val(&args, "--slo-ms").map_or(20, |v| v.parse().unwrap());
+    let timeout_ms: u64 = arg_val(&args, "--timeout-ms").map_or(100, |v| v.parse().unwrap());
     let chaos = args.iter().any(|a| a == "--chaos");
     let chaos_spec = arg_val(&args, "--chaos-spec")
         .or_else(|| std::env::var("RINVAL_FAILPOINTS").ok())
@@ -52,8 +106,10 @@ fn main() {
     let cfg = LoadConfig {
         clients: arg_val(&args, "--clients").map_or(8, |v| v.parse().unwrap()),
         duration,
+        timeout: Duration::from_millis(timeout_ms),
         write_pct: arg_val(&args, "--write-pct").map_or(50, |v| v.parse().unwrap()),
         seed: arg_val(&args, "--seed").map_or(0x10AD, |v| v.parse().unwrap()),
+        ops_per_client: ops,
         chaos: chaos.then(|| ChaosConfig {
             arm_at: duration.mul_f64(0.25),
             disarm_at: duration.mul_f64(0.60),
@@ -64,10 +120,15 @@ fn main() {
         ..LoadConfig::default()
     };
     println!(
-        "svc_loadgen: workload={workload} algo={} workers={} clients={} secs={secs} chaos={chaos}{}",
+        "svc_loadgen: workload={} algo={} workers={} clients={} {} chaos={chaos}{}",
+        workload.name(),
         algo.name(),
         svc_cfg.workers,
         cfg.clients,
+        match ops {
+            Some(n) => format!("ops={n}"),
+            None => format!("secs={secs}"),
+        },
         if chaos && !chaos_spec.is_empty() {
             format!(" spec='{chaos_spec}'")
         } else {
@@ -76,58 +137,73 @@ fn main() {
     );
 
     let stm = rinval::Stm::builder(algo).heap_words(1 << 20).build();
-    let (report, conservation) = match workload.as_str() {
-        "bank" => {
+    let (report, conservation): (LoadReport, Result<(), String>) = match workload {
+        WorkloadKind::Bank => {
             let svc = bank::BankService::setup(&stm, 256, 10_000);
-            let report = svc::loadgen::run(
-                &stm,
-                &svc,
-                &svc_cfg,
-                &cfg,
-                &|_c, rng, hot, write| {
-                    if write {
-                        (bank::EP_TRANSFER, [hot, rng.below(256), 1 + rng.below(50), 0])
-                    } else if rng.below(10) == 0 {
-                        (bank::EP_AUDIT, [0; 4])
-                    } else {
-                        (bank::EP_BALANCE, [hot, 0, 0, 0])
-                    }
-                },
-            );
+            let report = svc::loadgen::run(&stm, &svc, &svc_cfg, &cfg, &bank_plan);
             (report, svc.verify(&stm))
         }
-        "travel" => {
+        WorkloadKind::Travel => {
             let svc = travel::TravelService::setup(&stm, stamp::vacation::Config::default());
-            let report = svc::loadgen::run(
-                &stm,
-                &svc,
-                &svc_cfg,
-                &cfg,
-                &|_c, rng, hot, write| {
-                    if write {
-                        match rng.below(10) {
-                            0 => (travel::EP_RELEASE, [rng.below(128), 0, 0, 0]),
-                            1 => (travel::EP_REPRICE, [rng.below(3), hot, rng.below(450), 0]),
-                            _ => (travel::EP_RESERVE, [rng.below(3), rng.below(128), hot, 0]),
-                        }
-                    } else {
-                        (travel::EP_QUOTE, [rng.below(3), hot, 0, 0])
-                    }
-                },
-            );
+            let report = svc::loadgen::run(&stm, &svc, &svc_cfg, &cfg, &travel_plan);
             (report, svc.verify(&stm))
         }
-        other => panic!("unknown --workload '{other}' (bank|travel)"),
     };
 
     report.print();
+
+    // The repro token: exact for ops-bounded runs, volume-approximated for
+    // timed runs (see the module docs).
+    let token_ops = ops.unwrap_or_else(|| {
+        (report.acked_writes * 100 / cfg.write_pct.max(1)).div_ceil(cfg.clients.max(1))
+    });
+    let episode = Episode {
+        algo,
+        workload,
+        seed: cfg.seed,
+        clients: cfg.clients,
+        ops_per_client: token_ops,
+        write_pct: cfg.write_pct,
+        keys: cfg.keys,
+        zipf_milli: (cfg.zipf_s * 1000.0).round() as u64,
+        workers: svc_cfg.workers,
+        slo_ms,
+        timeout_ms,
+        max_write_tries: cfg.max_write_tries,
+        dedup: true,
+        plan: if chaos {
+            PlanSpec::parse(&chaos_spec)
+        } else {
+            PlanSpec::default()
+        },
+    };
+    println!("repro: {}", episode.token());
+
     if let Err(e) = conservation {
         eprintln!("CONSERVATION VIOLATION: {e}");
         std::process::exit(2);
     }
     println!("conservation OK");
-    if !report.ledger_ok() {
+    if report.lost != 0 || report.duplicated != 0 || report.undrained != 0 {
         eprintln!("LEDGER CHECK FAILED");
         std::process::exit(1);
+    }
+    if report.chaos_ran && report.recovered_after.is_none() {
+        eprintln!("SLO RECOVERY FAILED");
+        std::process::exit(3);
+    }
+    // Quiet runs also get the cross-layer accounting checks.
+    let allow = Allowances::from_spec(
+        if chaos { &chaos_spec } else { "" },
+        chaos && args.iter().any(|a| a == "--kill-inval-server"),
+    );
+    let mut out = Vec::new();
+    oracle::check_engine(&stm, &allow, &mut out);
+    oracle::check_accounting(&report, &allow, &mut out);
+    if !out.is_empty() {
+        for v in &out {
+            eprintln!("violation: {v}");
+        }
+        std::process::exit(4);
     }
 }

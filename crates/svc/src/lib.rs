@@ -40,7 +40,9 @@ mod mailbox;
 mod stats;
 
 pub mod bank;
+pub mod chaos;
 pub mod loadgen;
+pub mod oracle;
 pub mod travel;
 
 pub use stats::SvcStats;
@@ -121,6 +123,13 @@ pub trait Workload: Sync {
     fn apply(&self, tx: &mut Txn<'_>, req: &Request) -> TxResult<u64>;
     /// Executes a read endpoint. Must not write (enforced by `run_ro`).
     fn query(&self, tx: &mut Txn<'_>, req: &Request) -> TxResult<u64>;
+    /// Quiescent conservation check over the workload's own state (called
+    /// with no transactions in flight — after the service scope exits).
+    /// The [`oracle`] runs it at the end of every episode; the default has
+    /// nothing to check.
+    fn verify(&self, _stm: &Stm) -> Result<(), String> {
+        Ok(())
+    }
 }
 
 /// Service deployment parameters.
@@ -148,6 +157,13 @@ pub struct SvcConfig {
     pub breach_ttl: Duration,
     /// Respawn workers that die (panic or injected death).
     pub respawn_workers: bool,
+    /// **Chaos-canary test hook — never enable in a real deployment.**
+    /// Skips the dedup window entirely: fresh and retried keys alike are
+    /// applied (the per-client applied counter still ticks), so any
+    /// client retry becomes a real duplicate and the ledger catches it.
+    /// The inverted CI canary uses this to prove the chaos search can
+    /// still detect a service whose exactly-once layer is broken.
+    pub disable_dedup: bool,
 }
 
 impl Default for SvcConfig {
@@ -162,6 +178,7 @@ impl Default for SvcConfig {
             shed_pending: 32,
             breach_ttl: Duration::from_millis(100),
             respawn_workers: true,
+            disable_dedup: false,
         }
     }
 }
@@ -216,8 +233,19 @@ impl Dedup {
         wl: &dyn Workload,
         tx: &mut Txn<'_>,
         req: &Request,
+        faults: &rinval::FaultPlan,
+        disable_dedup: bool,
     ) -> TxResult<(u64, bool)> {
         let row = self.row(req.client);
+        if disable_dedup {
+            // Canary hook (`SvcConfig::disable_dedup`): no window lookup,
+            // no recording — every arrival applies, so retries duplicate
+            // and the ledger (applied vs acked) flags it.
+            let val = wl.apply(tx, req)?;
+            let applied = tx.read(row.field(OFF_APPLIED))?;
+            tx.write(row.field(OFF_APPLIED), applied + 1)?;
+            return Ok((val, true));
+        }
         let last = tx.read(row.field(OFF_LAST_KEY))?;
         if req.key <= last {
             // Keys are strictly increasing, so `key <= last` can only be a
@@ -231,6 +259,19 @@ impl Dedup {
             return Ok((STALE_DUPLICATE, false));
         }
         let val = wl.apply(tx, req)?;
+        // `svc.dedup.rotate`: the workload's effects are staged but the
+        // idempotency record is not yet written — a panic here aborts the
+        // whole transaction (exactly-once must hold because *both* roll
+        // back together), a delay stretches the window where a concurrent
+        // commit can doom this transaction. Fires once per attempt, so
+        // conflict retries draw fresh hits.
+        match faults.hit(site::SVC_DEDUP_ROTATE) {
+            Some(FaultAction::Panic) => {
+                panic!("svc: injected crash inside dedup rotation")
+            }
+            Some(FaultAction::Delay(d)) => std::thread::sleep(d),
+            _ => {}
+        }
         let cursor = tx.read(row.field(OFF_CURSOR))?;
         let slot = (cursor % self.window as u64) as u32;
         tx.write(row.field(OFF_ENTRIES + 2 * slot), req.key)?;
@@ -494,6 +535,16 @@ fn worker(sh: &Shared<'_>, w: usize) {
         let Some(env) = sh.mailboxes[w].pop(&sh.shutdown) else {
             return;
         };
+        // `svc.mailbox.pop`: the envelope is out of the queue but not yet
+        // processed — Exit kills the worker *with the envelope in hand*
+        // (the client's only recovery is timeout + retry through dedup),
+        // unlike `svc.worker.death`, which dies empty-handed.
+        match sh.stm.faults().hit(site::SVC_MAILBOX_POP) {
+            Some(FaultAction::Exit) => return,
+            Some(FaultAction::Panic) => panic!("svc: injected death after dequeue"),
+            Some(FaultAction::Delay(d)) => std::thread::sleep(d),
+            _ => {}
+        }
         process(sh, &mut th, env);
     }
 }
@@ -529,7 +580,8 @@ fn process(sh: &Shared<'_>, th: &mut rinval::ThreadHandle<'_>, env: Envelope) {
     let started = Instant::now();
     let req = env.req;
     let res = th.try_run_for(env.deadline.saturating_duration_since(started), |tx| {
-        sh.dedup.apply(sh.workload, tx, &req)
+        sh.dedup
+            .apply(sh.workload, tx, &req, sh.stm.faults(), sh.cfg.disable_dedup)
     });
     match res {
         Ok((val, fresh)) => {

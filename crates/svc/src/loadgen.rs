@@ -73,10 +73,25 @@ pub struct LoadConfig {
     pub zipf_s: f64,
     /// Optional bursty arrivals.
     pub burst: Option<Burst>,
-    /// Deterministic seed.
+    /// Deterministic seed. Per-client streams are split off a parent
+    /// SplitMix64 generator seeded with this ([`stamp::SplitMix::split`]),
+    /// so client `c`'s request sequence is a pure function of
+    /// `(seed, c, plan)`.
     pub seed: u64,
     /// Optional chaos schedule.
     pub chaos: Option<ChaosConfig>,
+    /// Ops-bounded mode: each client issues exactly this many operations
+    /// instead of running for [`LoadConfig::duration`] — the replay mode,
+    /// where the set of issued requests (and so the fault-site hit counts)
+    /// must not depend on wall-clock speed. Bursty arrivals are ignored
+    /// (they only shape time).
+    pub ops_per_client: Option<u64>,
+    /// Write retry budget before a client gives up on its key and reports
+    /// itself undrained. The default is effectively "retry until the drain
+    /// is conclusive"; chaos episodes lower it so a plan that permanently
+    /// swallows replies (e.g. the dedup-disabled canary) fails fast
+    /// instead of spinning through thousands of timeouts.
+    pub max_write_tries: u32,
 }
 
 impl Default for LoadConfig {
@@ -91,6 +106,8 @@ impl Default for LoadConfig {
             burst: None,
             seed: 0x10AD,
             chaos: None,
+            ops_per_client: None,
+            max_write_tries: 10_000,
         }
     }
 }
@@ -135,6 +152,12 @@ pub struct LoadReport {
     pub recovered_after: Option<Duration>,
     /// Whether chaos was scheduled.
     pub chaos_ran: bool,
+    /// Fault-journal fires recorded during the run (0 without the
+    /// `failpoints` feature).
+    pub fault_fires: u64,
+    /// Order-insensitive fault-journal digest — the replay gate's equality
+    /// surface (0 without the `failpoints` feature).
+    pub fault_digest: u64,
 }
 
 impl LoadReport {
@@ -175,6 +198,12 @@ impl LoadReport {
             (true, Some(d)) => println!("chaos recovered_after={}ms", d.as_millis()),
             (true, None) => println!("chaos recovered_after=NEVER"),
             (false, _) => {}
+        }
+        if self.fault_fires > 0 {
+            println!(
+                "faults fired={} digest={:#018x}",
+                self.fault_fires, self.fault_digest
+            );
         }
         println!(
             "verdict {} (degraded={})",
@@ -231,6 +260,14 @@ pub fn run(
         .filter_map(|(i, ep)| ep.writes.then_some(i as u8))
         .collect();
     let zipf = Zipf::new(cfg.keys, cfg.zipf_s);
+    // Split one independent stream per client off a parent generator (the
+    // SplitMix64 idiom) — the XOR-of-index scheme this replaces gave
+    // correlated sibling streams and made replay depend on the mixing
+    // constant instead of on the algorithm's own splitting contract.
+    let client_rngs: Vec<SplitMix> = {
+        let mut parent = SplitMix::new(cfg.seed);
+        (0..cfg.clients).map(|_| parent.split()).collect()
+    };
     let acked: Vec<AtomicU64> = (0..cfg.clients).map(|_| AtomicU64::new(0)).collect();
     let undrained = AtomicU64::new(0);
     let recovered_after: AtomicU64 = AtomicU64::new(u64::MAX);
@@ -307,6 +344,7 @@ pub fn run(
                 let zipf = &zipf;
                 let weps = &write_endpoints;
                 let live = &live;
+                let mut rng = client_rngs[c as usize].clone();
                 s.spawn(move || {
                     // Whatever path exits this thread, the chaos monitor
                     // must learn the generator population shrank.
@@ -317,10 +355,16 @@ pub fn run(
                         }
                     }
                     let _depart = Depart(live);
-                    let mut rng = SplitMix::new(cfg.seed ^ (c + 1).wrapping_mul(0x9E37_79B9));
                     let mut next_key = 1u64;
-                    while start.elapsed() < cfg.duration {
-                        if let Some(b) = cfg.burst {
+                    let mut issued = 0u64;
+                    loop {
+                        match cfg.ops_per_client {
+                            Some(n) if issued >= n => break,
+                            None if start.elapsed() >= cfg.duration => break,
+                            _ => {}
+                        }
+                        issued += 1;
+                        if let Some(b) = cfg.burst.filter(|_| cfg.ops_per_client.is_none()) {
                             let period = b.busy + b.idle;
                             let phase = Duration::from_nanos(
                                 (start.elapsed().as_nanos() % period.as_nanos()) as u64,
@@ -370,7 +414,7 @@ pub fn run(
                                     if !write && tries >= 3 {
                                         break;
                                     }
-                                    if write && tries >= 10_000 {
+                                    if write && tries >= cfg.max_write_tries {
                                         // Inconclusive ledger: report it
                                         // loudly instead of spinning forever.
                                         undrained.fetch_add(1, Ordering::Relaxed);
@@ -426,6 +470,8 @@ pub fn run(
             degraded: stm.is_degraded(),
             recovered_after: (rec != u64::MAX).then(|| Duration::from_nanos(rec)),
             chaos_ran: cfg.chaos.is_some(),
+            fault_fires: stm.faults().journal_fires(),
+            fault_digest: stm.faults().journal_digest(),
         }
     })
 }

@@ -115,6 +115,10 @@ impl Workload for TravelService {
         let cands = self.candidates(req.args[1]);
         Ok(self.db.quote(tx, rel, &cands)?.unwrap_or(QUOTE_SOLD_OUT))
     }
+
+    fn verify(&self, stm: &Stm) -> Result<(), String> {
+        TravelService::verify(self, stm)
+    }
 }
 
 #[cfg(test)]

@@ -14,6 +14,7 @@
 use rinval::AlgorithmKind;
 use std::time::Duration;
 use svc::loadgen::{self, Burst, ChaosConfig, LoadConfig};
+use svc::oracle::{self, Allowances};
 use svc::{bank, SvcConfig};
 
 #[test]
@@ -55,6 +56,7 @@ fn chaos_soak_recovers_ledger_and_slo() {
             kill_inval_server: true,
             recovery_window: duration + Duration::from_secs(10),
         }),
+        ..LoadConfig::default()
     };
     let report = loadgen::run(&stm, &service, &svc_cfg, &cfg, &|_c, rng, hot, write| {
         if write {
@@ -66,14 +68,14 @@ fn chaos_soak_recovers_ledger_and_slo() {
         }
     });
     report.print();
-    assert_eq!(report.lost, 0, "operations lost");
-    assert_eq!(report.duplicated, 0, "operations duplicated");
-    assert_eq!(report.undrained, 0, "ledger inconclusive");
-    assert!(
-        report.recovered_after.is_some(),
-        "write p99 never returned under the SLO"
+    // The full oracle: ledger, conservation, engine quiescence, SLO
+    // recovery — with the allowances this fault plan actually grants.
+    let allow = Allowances::from_spec(
+        &cfg.chaos.as_ref().unwrap().spec,
+        /* kill_inval_server = */ true,
     );
-    service.verify(&stm).expect("conservation violated");
+    let violations = oracle::check_all(&stm, &service, &report, &allow);
+    assert!(violations.is_empty(), "oracle violations: {violations:#?}");
     // The drills actually fired: deaths were injected and survived.
     assert!(report.svc.worker_deaths >= 1, "no worker death injected");
     assert!(report.svc.worker_respawns >= 1, "no worker respawned");
